@@ -1,0 +1,71 @@
+"""E11 — scheduler motif: reuse through modification (paper §1).
+
+Reproduces: "a scheduler motif might be adapted to the demands of a highly
+parallel computer by introducing additional levels in its manager/worker
+hierarchy."
+
+Series: manager-processor load share under the flat scheduler (every
+submission, dispatch, and completion crosses server 1) vs the hierarchical
+variant (group leaders own dispatch/completion), as the machine grows.
+Shape expected: the flat manager's share stays dominant; the hierarchy
+moves most traffic off the top.
+"""
+
+from repro.analysis import Table
+from repro.apps.taskbag import TASKBAG_SOURCE, expected_sum, register_taskbag
+from repro.core.api import run_applied
+from repro.machine import Machine
+from repro.motifs.scheduler import scheduled_application
+from repro.strand.parser import parse_program
+from repro.strand.terms import Struct, Var, deref
+
+TASKS = 60
+COST = 40.0
+
+
+def run(processors: int, hierarchical: bool, groups: int = 4, seed: int = 1):
+    app = parse_program(TASKBAG_SOURCE, name="taskbag")
+    motif = scheduled_application(
+        entry=("main", 2),
+        hierarchical=hierarchical,
+        outputs={("work", 2): 1},
+        sync_outputs={("work", 2): 1},
+    )
+    applied = motif.apply(app)
+    applied.foreign_setup.append(lambda reg: register_taskbag(reg, cost=COST))
+    applied.user_names.add("work")
+    machine = Machine(processors, seed=seed)
+    total = Var("Sum")
+    boot = Struct("boot", (TASKS, total, Var("Done")))
+    if hierarchical:
+        goal = Struct("create", (processors, Struct("hinit", (groups, boot))))
+    else:
+        goal = Struct("create", (processors, Struct("minit", (boot,))))
+    _, metrics = run_applied(applied, goal, machine)
+    assert deref(total) == expected_sum(TASKS)
+    return metrics
+
+
+def test_e11_flat_vs_hierarchical(emit, benchmark):
+    table = Table(
+        f"E11  manager bottleneck: flat vs hierarchical scheduler "
+        f"({TASKS} tasks)",
+        ["P", "variant", "manager busy", "manager share", "makespan",
+         "efficiency"],
+    )
+    shares = {}
+    for processors in (5, 9, 13):
+        flat = run(processors, hierarchical=False)
+        hier = run(processors, hierarchical=True, groups=(processors - 1) // 3)
+        for name, metrics in (("flat", flat), ("hierarchical", hier)):
+            share = metrics.busy[0] / metrics.total_busy
+            shares[(processors, name)] = share
+            table.add(processors, name, metrics.busy[0], share,
+                      metrics.makespan, metrics.efficiency)
+        assert hier.busy[0] < flat.busy[0]
+    table.note('paper §1: adapt the scheduler "by introducing additional '
+               'levels in its manager/worker hierarchy" — the top manager '
+               "sheds dispatch and completion traffic")
+    emit(table)
+
+    benchmark(lambda: run(9, hierarchical=True, groups=2))

@@ -1,0 +1,159 @@
+"""E12 — generality: the §4 future-work motifs.
+
+Reproduces: "In the future, we plan to develop new motifs ...  Areas in
+which motifs seem appropriate include search, sorting, grid problems,
+divide and conquer, and various graph theory problems."
+
+One correctness + virtual-speedup series per motif: parallel search
+(N-queens), parallel mergesort, and Jacobi grid relaxation — all built by
+composing the paper's own Server/Rand motifs (search, sort) or the stream
+machinery (grid).
+"""
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.apps.gridapp import (
+    jacobi_reference,
+    join_strips,
+    make_grid,
+    register_grid,
+    split_strips,
+)
+from repro.apps.queens import KNOWN_COUNTS, register_queens, root_node
+from repro.apps.sorting import random_list, register_sorting
+from repro.core.api import run_applied
+from repro.machine import Machine
+from repro.motifs.grid import grid_goals, grid_motif
+from repro.motifs.search import search_stack
+from repro.motifs.sort import sort_stack
+from repro.strand.foreign import from_python, to_python
+from repro.strand.program import Program
+from repro.strand.terms import Struct, Var, deref
+
+
+def run_queens(n: int, processors: int, depth: int = 2, seed: int = 3):
+    applied = search_stack().apply(Program(name="queens"))
+    applied.foreign_setup.append(register_queens)
+    applied.user_names.update({"expand", "sol"})
+    count = Var("C")
+    goal = Struct(
+        "create",
+        (processors,
+         Struct("boot", (from_python(root_node(n)), count, depth, Var("D")))),
+    )
+    _, metrics = run_applied(applied, goal, Machine(processors, seed=seed))
+    return deref(count), metrics
+
+
+def run_sort(xs, processors: int, depth: int = 3, seed: int = 1):
+    applied = sort_stack().apply(Program(name="sorting"))
+    applied.foreign_setup.append(register_sorting)
+    applied.user_names.update({"halve", "merge_sorted", "sort_seq"})
+    out = Var("Out")
+    goal = Struct(
+        "create",
+        (processors, Struct("boot", (from_python(xs), out, depth, Var("D")))),
+    )
+    _, metrics = run_applied(applied, goal, Machine(processors, seed=seed))
+    return to_python(out), metrics
+
+
+def run_grid(workers: int, rows: int = 24, cols: int = 12, iterations: int = 6):
+    applied = grid_motif().apply(Program(name="jacobi"))
+    applied.foreign_setup.append(lambda reg: register_grid(reg, unit=0.5))
+    applied.user_names.update({"top_row", "bottom_row", "sweep"})
+    grid = make_grid(rows, cols)
+    strips = [from_python(s) for s in split_strips(grid, workers)]
+    goals, results = grid_goals(strips, iterations)
+    _, metrics = run_applied(applied, goals, Machine(workers, seed=0))
+    final = join_strips([to_python(r) for r in results])
+    return grid, final, metrics
+
+
+def test_e12_search_motif(emit, benchmark):
+    n = 7
+    table = Table(
+        f"E12a  parallel search: {n}-queens (expect {KNOWN_COUNTS[n]})",
+        ["P", "solutions", "virtual time", "speedup"],
+    )
+    base = None
+    times = []
+    for processors in (1, 2, 4, 8):
+        count, metrics = run_queens(n, processors)
+        assert count == KNOWN_COUNTS[n]
+        if base is None:
+            base = metrics.makespan
+        times.append(metrics.makespan)
+        table.add(processors, count, metrics.makespan, base / metrics.makespan)
+    emit(table)
+    assert times[-1] < times[0] / 2  # meaningful parallel speedup
+
+    benchmark(lambda: run_queens(6, 4))
+
+
+def test_e12_sort_motif(emit, benchmark):
+    xs = random_list(400, seed=5)
+    table = Table(
+        "E12b  parallel mergesort (400 keys)",
+        ["P", "sorted", "virtual time", "speedup"],
+    )
+    base = None
+    for processors in (1, 2, 4, 8):
+        out, metrics = run_sort(xs, processors)
+        assert out == sorted(xs)
+        if base is None:
+            base = metrics.makespan
+        table.add(processors, True, metrics.makespan, base / metrics.makespan)
+    table.note("speedup saturates: the final merge is inherently serial "
+               "(Amdahl), exactly the shape a mergesort motif should show")
+    emit(table)
+
+    benchmark(lambda: run_sort(random_list(100, seed=1), 4))
+
+
+def test_e12_grid_motif(emit, benchmark):
+    table = Table(
+        "E12c  Jacobi relaxation (24x12, 6 sweeps)",
+        ["workers", "matches numpy", "virtual time", "speedup", "messages"],
+    )
+    base = None
+    times = []
+    for workers in (1, 2, 4, 8):
+        grid, final, metrics = run_grid(workers)
+        ok = bool(np.allclose(final, jacobi_reference(grid, 6)))
+        assert ok
+        if base is None:
+            base = metrics.makespan
+        times.append(metrics.makespan)
+        table.add(workers, ok, metrics.makespan, base / metrics.makespan,
+                  metrics.messages)
+    emit(table)
+    assert times[-1] < times[0] / 2
+
+    benchmark(lambda: run_grid(4))
+
+
+def test_e12_graph_motif(emit, benchmark):
+    from repro.apps.graphs import grid_graph, random_graph, reference_distances, run_sssp
+
+    table = Table(
+        "E12d  distributed SSSP (chaotic relaxation) vs NetworkX",
+        ["graph", "nodes", "workers", "correct", "virtual time", "messages"],
+    )
+    workloads = [
+        ("grid 6x5", grid_graph(6, 5)),
+        ("random n=40", random_graph(40, 0.1, seed=2)),
+    ]
+    for name, adj in workloads:
+        ref = reference_distances(adj, 0)
+        for workers in (1, 2, 4):
+            got, metrics = run_sssp(adj, 0, workers=workers, seed=1)
+            assert got == ref
+            table.add(name, len(adj), workers, got == ref,
+                      metrics.makespan, metrics.messages)
+    table.note("§4: 'various graph theory problems' — asynchronous "
+               "relaxation converges to exact BFS distances at quiescence")
+    emit(table)
+
+    benchmark(lambda: run_sssp(grid_graph(5, 4), 0, workers=4, seed=1))

@@ -1,0 +1,63 @@
+"""E15 — collective reduction across the machine (hypercube heritage).
+
+§2.1 lists hypercubes among Strand's home machines; the hypercube-native
+collective is recursive doubling.  This experiment reproduces the classic
+``O(log P)`` vs ``O(P)`` separation between the doubling allreduce and a
+central fold-then-broadcast, on the virtual hypercube — the kind of
+building-block motif the paper's framework is meant to host.
+"""
+
+from repro.analysis import Table
+from repro.core.api import run_applied
+from repro.machine import Machine
+from repro.motifs.collective import (
+    allreduce_goals,
+    central_reduce_goals,
+    collective_motif,
+)
+from repro.strand.program import Program
+from repro.strand.terms import deref
+
+COMBINE_COST = 8.0
+
+
+def run(plan: str, processors: int):
+    applied = collective_motif().apply(Program(name="app"))
+    applied.foreign_setup.append(
+        lambda reg: reg.register("cop", 3, lambda a, b: a + b,
+                                 cost=COMBINE_COST)
+    )
+    applied.user_names.add("cop")
+    values = list(range(processors))
+    machine = Machine(processors, topology="hypercube")
+    if plan == "doubling":
+        goals, results = allreduce_goals(values)
+        _, metrics = run_applied(applied, goals, machine)
+        assert [deref(r) for r in results] == [sum(values)] * processors
+    else:
+        goals, total, _ = central_reduce_goals(values)
+        _, metrics = run_applied(applied, goals, machine)
+        assert deref(total) == sum(values)
+    return metrics
+
+
+def test_e15_allreduce(emit, benchmark):
+    table = Table(
+        "E15  allreduce on the hypercube: recursive doubling vs central fold",
+        ["P", "doubling time", "central time", "central/doubling"],
+    )
+    ratios = []
+    for processors in (8, 16, 32, 64):
+        doubling = run("doubling", processors).makespan
+        central = run("central", processors).makespan
+        ratios.append(central / doubling)
+        table.add(processors, doubling, central, central / doubling)
+    table.note("O(log P) rounds vs an O(P) fold chain — the gap widens "
+               "with the machine, the textbook collective-communication "
+               "shape")
+    emit(table)
+
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > 3.0
+
+    benchmark(lambda: run("doubling", 16))

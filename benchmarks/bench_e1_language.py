@@ -1,0 +1,56 @@
+"""E1 — the language substrate (paper Figure 1, §2.1).
+
+Reproduces: Figure 1's producer/consumer runs under our engine with the
+described synchronous-rendezvous semantics; engine throughput is reported
+so later experiments' virtual-time figures have a wall-clock anchor.
+
+Series: message count N vs reductions and virtual time (both linear — the
+rendezvous costs a constant number of reductions per message).
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.machine import Machine
+from repro.strand import parse_program, run_query
+
+FIGURE1 = """
+go(N) :- producer(N, Xs, sync), consumer(Xs).
+producer(N, Xs, _Sync) :- N > 0 |
+    Xs := [X | Xs1],
+    N1 := N - 1,
+    producer(N1, Xs1, X).
+producer(0, Xs, _) :- Xs := [].
+consumer([X | Xs]) :- X := sync, consumer(Xs).
+consumer([]).
+"""
+
+PROGRAM = parse_program(FIGURE1, name="figure1")
+
+
+def run_fig1(n: int):
+    return run_query(PROGRAM, f"go({n})", machine=Machine(1))
+
+
+def test_e1_figure1_rendezvous(emit, benchmark):
+    table = Table(
+        "E1  Figure 1 producer/consumer (synchronous rendezvous)",
+        ["messages N", "reductions", "virtual time", "reductions/message"],
+    )
+    rows = []
+    for n in (10, 50, 100, 200, 400):
+        metrics = run_fig1(n).metrics
+        rows.append((n, metrics.reductions, metrics.makespan))
+        table.add(n, metrics.reductions, metrics.makespan,
+                  metrics.reductions / n)
+    table.note("paper: 'After sending 4 messages, the two processes "
+               "terminate' — cost per message is constant")
+    emit(table)
+
+    # Shape: linear in N (constant per-message overhead).
+    (n1, r1, _), (n2, r2, _) = rows[0], rows[-1]
+    per_msg_small = (r1) / n1
+    per_msg_large = (r2) / n2
+    assert abs(per_msg_small - per_msg_large) < 1.0
+
+    benchmark(lambda: run_fig1(200))

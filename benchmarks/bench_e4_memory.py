@@ -1,0 +1,54 @@
+"""E4 — memory behaviour of Tree-Reduce-2 (paper §3.5).
+
+Reproduces: "At each processor, computation is sequenced so that only a
+single node evaluation is active at any given time.  This reduces memory
+consumption."
+
+Series: per-processor peak of simultaneously live node evaluations
+(spawned-but-unfinished ``eval/4`` processes — each holds its operand
+profiles alive) for Tree-Reduce-1 vs Tree-Reduce-2, as the tree grows;
+plus TR-2's pending-value queue high-water.  Shape expected: TR-1's peak
+grows with the tree; TR-2's is pinned at 1.
+"""
+
+from repro.analysis import Table
+from repro.apps.arithmetic import arithmetic_tree, eval_arith_node
+from repro.core.api import reduce_tree
+
+P = 4
+
+
+def run(strategy: str, leaves: int):
+    tree = arithmetic_tree(leaves, seed=leaves + 7)
+    return reduce_tree(tree, eval_arith_node, processors=P, strategy=strategy,
+                       seed=3, eval_cost=30.0)
+
+
+def test_e4_memory_bound(emit, benchmark):
+    table = Table(
+        "E4  peak live node evaluations per processor (P=4)",
+        ["leaves", "TR-1 peak live evals", "TR-2 peak live evals",
+         "TR-2 peak queued values", "ratio TR-1/TR-2"],
+    )
+    growth = []
+    for leaves in (8, 16, 32, 64, 128):
+        tr1 = run("tr1", leaves).metrics
+        tr2 = run("tr2", leaves).metrics
+        growth.append((leaves, tr1.max_peak_live_tasks))
+        table.add(
+            leaves,
+            tr1.max_peak_live_tasks,
+            tr2.max_peak_live_tasks,
+            tr2.max_peak_live_values,
+            tr1.max_peak_live_tasks / max(1, tr2.max_peak_live_tasks),
+        )
+        # The §3.5 invariant, at every size:
+        assert tr2.max_peak_live_tasks == 1
+    table.note('paper: "only a single node evaluation is active at any '
+               'given time.  This reduces memory consumption."')
+    emit(table)
+
+    # Shape: TR-1's footprint grows with the tree.
+    assert growth[-1][1] > growth[0][1]
+
+    benchmark(lambda: run("tr2", 32))

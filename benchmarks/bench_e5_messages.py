@@ -1,0 +1,51 @@
+"""E5 — communication bound of Tree-Reduce-2's labeling (paper §3.5).
+
+Reproduces: "the labeling used here ensures that an interprocessor
+communication is required for at most one of each node's offspring values."
+
+Measured: cross-processor reduction-phase ``value`` messages (leaf
+dispatches and the table broadcast travel under other tags) against the
+internal-node count, across tree sizes and machine sizes; compared with
+Tree-Reduce-1's task+result traffic.
+"""
+
+from repro.analysis import Table
+from repro.apps.arithmetic import arithmetic_tree, eval_arith_node
+from repro.core.api import reduce_tree
+from repro.machine import Machine
+
+
+def run_traced(strategy: str, leaves: int, processors: int, seed: int):
+    tree = arithmetic_tree(leaves, seed=leaves)
+    machine = Machine(processors, seed=seed, trace=True)
+    return reduce_tree(tree, eval_arith_node, processors=processors,
+                       strategy=strategy, seed=seed, machine=machine)
+
+
+def value_messages(result) -> int:
+    return sum(
+        1
+        for e in result.engine.machine.trace.of_kind("send")
+        if e.detail.startswith("port:value->")
+    )
+
+
+def test_e5_message_bound(emit, benchmark):
+    table = Table(
+        "E5  cross-processor offspring-value messages (TR-2 labeling)",
+        ["leaves", "P", "internal nodes", "TR-2 value msgs",
+         "bound respected", "TR-2 total msgs", "TR-1 total msgs"],
+    )
+    for leaves, processors in [(16, 4), (32, 4), (64, 4), (64, 8), (128, 8)]:
+        internal = leaves - 1
+        tr2 = run_traced("tr2", leaves, processors, seed=5)
+        tr1 = run_traced("tr1", leaves, processors, seed=5)
+        v = value_messages(tr2)
+        table.add(leaves, processors, internal, v, v <= internal,
+                  tr2.metrics.messages, tr1.metrics.messages)
+        assert v <= internal
+    table.note('paper: "an interprocessor communication is required for at '
+               'most one of each node\'s offspring values"')
+    emit(table)
+
+    benchmark(lambda: run_traced("tr2", 32, 4, 5))

@@ -1,0 +1,67 @@
+"""E6 — static partition vs dynamic random mapping (paper §3.1).
+
+Reproduces: "A static partition of the tree is probably ideal in the
+simple arithmetic example.  In contrast, our biology application requires
+a more dynamic algorithm, as the time required at each node is non-uniform
+and cannot easily be predicted."
+
+Matrix: {balanced, irregular(random-split)} trees × {uniform, heavy-tailed}
+node costs; virtual makespan of the static partition vs Tree-Reduce-1's
+random mapping on 8 processors.  Shape expected: static wins the
+regular/uniform corner; the random mapping wins once the tree is
+irregular (the phylogeny case), under either cost model.
+"""
+
+import itertools
+
+from repro.analysis import Table
+from repro.apps.arithmetic import (
+    arithmetic_tree,
+    eval_arith_node,
+    heavy_tailed_cost,
+    uniform_cost,
+)
+from repro.core.api import reduce_tree
+
+P = 8
+LEAVES = 128
+
+
+def cost_model(kind: str):
+    if kind == "uniform":
+        return uniform_cost(100.0)
+    return heavy_tailed_cost(base=40.0, spike=1500.0, spike_probability=0.08,
+                             seed=5)
+
+
+def run(shape: str, kind: str, strategy: str, seed: int = 2):
+    tree = arithmetic_tree(LEAVES, seed=13, shape=shape)
+    return reduce_tree(tree, eval_arith_node, processors=P, strategy=strategy,
+                       seed=seed, eval_cost=cost_model(kind)).metrics
+
+
+def test_e6_static_vs_dynamic(emit, benchmark):
+    table = Table(
+        "E6  static partition vs dynamic random mapping (P=8, 128 leaves)",
+        ["tree shape", "node costs", "static time", "static imb",
+         "dynamic time", "dynamic imb", "winner"],
+    )
+    results = {}
+    for shape, kind in itertools.product(("balanced", "random"),
+                                         ("uniform", "heavy")):
+        static = run(shape, kind, "static")
+        dynamic = run(shape, kind, "tr1")
+        winner = "static" if static.makespan < dynamic.makespan else "dynamic"
+        results[(shape, kind)] = winner
+        table.add(shape, kind, static.makespan, static.imbalance,
+                  dynamic.makespan, dynamic.imbalance, winner)
+    table.note("crossover: regular trees favour the static split; irregular "
+               "(phylogeny-like) trees favour random mapping (§3.1)")
+    emit(table)
+
+    # The paper's qualitative claims:
+    assert results[("balanced", "uniform")] == "static"
+    assert results[("random", "uniform")] == "dynamic"
+    assert results[("random", "heavy")] == "dynamic"
+
+    benchmark(lambda: run("random", "uniform", "tr1"))

@@ -1,0 +1,63 @@
+"""E8 — motif run-time overhead (paper §2.1).
+
+Reproduces: "although a motif implementation ... may encapsulate
+significant complexity, it is rare that significant time is spent
+executing its routines."
+
+Series: fraction of charged virtual time spent in motif-library procedures
+(everything the user did not write: servers, dispatch, circuit, ports) as
+the node-evaluation cost grows.  Shape expected: the fraction falls
+toward zero — motif code is a fixed per-node tax that vanishes against
+real work.  Also reports transformation (compile) wall time.
+"""
+
+import time
+
+from repro.analysis import Table
+from repro.apps.arithmetic import arithmetic_tree, eval_arith_node
+from repro.core.api import reduce_tree
+from repro.motifs.tree_reduce1 import tree_reduce_1
+from repro.strand.parser import parse_program
+
+
+def run(eval_cost: float):
+    tree = arithmetic_tree(64, seed=3)
+    return reduce_tree(tree, eval_arith_node, processors=4, strategy="tr1",
+                       seed=1, eval_cost=eval_cost).metrics
+
+
+def test_e8_overhead_fraction(emit, benchmark):
+    table = Table(
+        "E8  motif-library share of virtual time vs node-evaluation cost",
+        ["eval cost", "library time", "user time", "library fraction"],
+    )
+    fractions = []
+    for cost in (1.0, 10.0, 100.0, 1000.0):
+        metrics = run(cost)
+        fractions.append(metrics.library_fraction)
+        table.add(cost, metrics.library_cost, metrics.user_cost,
+                  metrics.library_fraction)
+    table.note('paper: "it is rare that significant time is spent executing '
+               '[motif] routines" — the fraction vanishes as real work grows')
+    emit(table)
+
+    assert fractions == sorted(fractions, reverse=True)
+    assert fractions[-1] < 0.10
+
+    # Compile-time: applying the full motif stack is fast (the paper's
+    # "automatically applied transformations can speed the development
+    # process").
+    application = parse_program(
+        "eval(add, L, R, V) :- V := L + R.\neval(mul, L, R, V) :- V := L * R.",
+        name="eval",
+    )
+    motif = tree_reduce_1()
+    t0 = time.perf_counter()
+    for _ in range(20):
+        motif.apply(application)
+    per_apply = (time.perf_counter() - t0) / 20
+    emit(f"E8  motif stack application (source-to-source compile): "
+         f"{per_apply * 1000:.2f} ms per application")
+    assert per_apply < 0.5
+
+    benchmark(lambda: motif.apply(application))

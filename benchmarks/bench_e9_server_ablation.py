@@ -1,0 +1,49 @@
+"""E9 — server library ablation: ports vs the Figure-3 merge network.
+
+§3.2 presents the server library of Figure 3, built from N² streams and
+explicit binary ``merge`` trees; Strand systems also provided ports
+(many-writer streams), which our default library uses.  §3.6: "many
+applications will benefit from specialized motifs tailored to their
+particular requirements" — this ablation quantifies the trade.
+
+Series: reductions, messages, and virtual time of the same Tree-Reduce-1
+workload under each server library, across machine sizes.  Shape expected:
+the merge network pays extra reductions per delivered message (the merge
+chain), growing with P.
+"""
+
+from repro.analysis import Table
+from repro.apps.arithmetic import arithmetic_tree, eval_arith_node
+from repro.core.api import reduce_tree
+
+LEAVES = 48
+
+
+def run(library: str, processors: int):
+    tree = arithmetic_tree(LEAVES, seed=9)
+    return reduce_tree(tree, eval_arith_node, processors=processors,
+                       strategy="tr1", server_library=library, seed=4,
+                       eval_cost=20.0).metrics
+
+
+def test_e9_port_vs_merge_network(emit, benchmark):
+    table = Table(
+        "E9  server library ablation (Tree-Reduce-1, 48 leaves)",
+        ["P", "library", "reductions", "messages", "virtual time",
+         "reductions vs ports"],
+    )
+    for processors in (2, 4, 8):
+        ports = run("ports", processors)
+        merge = run("merge", processors)
+        table.add(processors, "ports", ports.reductions, ports.messages,
+                  ports.makespan, "1.00x")
+        table.add(processors, "merge (Fig. 3)", merge.reductions,
+                  merge.messages, merge.makespan,
+                  f"{merge.reductions / ports.reductions:.2f}x")
+        assert merge.reductions > ports.reductions
+    table.note("the Figure-3 merge network spends extra reductions moving "
+               "every message through a merge chain; the overhead grows "
+               "with the machine")
+    emit(table)
+
+    benchmark(lambda: run("ports", 4))

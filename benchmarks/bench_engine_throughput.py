@@ -1,0 +1,64 @@
+"""Engine throughput — infrastructure benchmark (not a paper experiment).
+
+Tracks the interpreter's reductions-per-second on three canonical shapes —
+the Figure-1 rendezvous (suspension-heavy), the Eratosthenes sieve
+(process-chain-heavy), and a multi-processor tree reduction (scheduler- and
+message-heavy) — so engine regressions show up in CI.
+"""
+
+from pathlib import Path
+
+from repro.analysis import Table
+from repro.apps.arithmetic import arithmetic_tree, eval_arith_node
+from repro.core.api import reduce_tree
+from repro.machine import Machine
+from repro.strand import parse_program, run_query
+
+FIGURE1 = parse_program("""
+go(N) :- producer(N, Xs, sync), consumer(Xs).
+producer(N, Xs, _Sync) :- N > 0 |
+    Xs := [X | Xs1], N1 := N - 1, producer(N1, Xs1, X).
+producer(0, Xs, _) :- Xs := [].
+consumer([X | Xs]) :- X := sync, consumer(Xs).
+consumer([]).
+""", name="figure1")
+
+SIEVE = parse_program(
+    (Path(__file__).parent.parent / "examples" / "strand" / "sieve.str").read_text(),
+    name="sieve",
+)
+
+
+def run_figure1():
+    return run_query(FIGURE1, "go(1500)", machine=Machine(1)).metrics
+
+
+def run_sieve():
+    return run_query(SIEVE, "primes(400, _Ps)", machine=Machine(1)).metrics
+
+
+def run_tree():
+    tree = arithmetic_tree(128, seed=1)
+    return reduce_tree(tree, eval_arith_node, processors=8, strategy="tr1",
+                       seed=1).metrics
+
+
+def test_engine_throughput(emit, benchmark):
+    import time
+
+    table = Table(
+        "engine throughput (wall clock, informational)",
+        ["workload", "reductions", "seconds", "reductions/s"],
+    )
+    for name, runner in (("figure1 rendezvous", run_figure1),
+                         ("sieve of Eratosthenes", run_sieve),
+                         ("tree-reduce-1 P=8", run_tree)):
+        t0 = time.perf_counter()
+        metrics = runner()
+        dt = time.perf_counter() - t0
+        table.add(name, metrics.reductions, dt, metrics.reductions / dt)
+        # Guard against catastrophic interpreter regressions.
+        assert metrics.reductions / dt > 5_000
+    emit(table)
+
+    benchmark(run_sieve)

@@ -1,0 +1,35 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every experiment (DESIGN.md §5) prints its table through ``emit`` so the
+rows appear on the terminal even under pytest's capture, and are appended
+to ``benchmarks/results.txt`` for the record.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    RESULTS_PATH.write_text("")
+    yield
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a table (or text) to the real terminal and the results file."""
+
+    def _emit(table) -> None:
+        text = table if isinstance(table, str) else table.render()
+        with capsys.disabled():
+            print()
+            print(text)
+        with RESULTS_PATH.open("a") as fh:
+            fh.write(text + "\n\n")
+
+    return _emit

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Parallel search with the search motif: counting N-queens solutions.
+
+§1 cites or-parallel Prolog ("the user provides logic clauses that specify
+a search problem and the system explores the corresponding search tree");
+§4 lists search among the areas "in which motifs seem appropriate".  The
+search motif fans subtree exploration out with the paper's own Random
+motif; the user supplies just two foreign procedures, ``expand`` and
+``sol``.
+
+Run:  python examples/parallel_search.py
+"""
+
+from repro.analysis import Table
+from repro.apps.queens import KNOWN_COUNTS, register_queens, root_node
+from repro.core.api import run_applied
+from repro.machine import Machine
+from repro.motifs.search import search_stack
+from repro.strand.foreign import from_python
+from repro.strand.program import Program
+from repro.strand.terms import Struct, Var, deref
+
+N = 7
+DEPTH = 2  # levels of remote fan-out before exploration goes local
+
+
+def count_queens(processors: int, seed: int = 0):
+    applied = search_stack().apply(Program(name="queens"))
+    applied.foreign_setup.append(register_queens)
+    applied.user_names.update({"expand", "sol"})
+    machine = Machine(processors, seed=seed)
+    count = Var("Count")
+    goal = Struct(
+        "create",
+        (processors,
+         Struct("boot", (from_python(root_node(N)), count, DEPTH, Var("Done")))),
+    )
+    _, metrics = run_applied(applied, goal, machine)
+    return deref(count), metrics
+
+
+def main() -> None:
+    table = Table(
+        f"{N}-queens under the search motif (expected {KNOWN_COUNTS[N]} solutions)",
+        ["P", "solutions", "virtual time", "speedup", "efficiency", "messages"],
+    )
+    base = None
+    for processors in (1, 2, 4, 8):
+        count, metrics = count_queens(processors, seed=3)
+        assert count == KNOWN_COUNTS[N]
+        if base is None:
+            base = metrics.makespan
+        table.add(processors, count, metrics.makespan,
+                  base / metrics.makespan, metrics.efficiency,
+                  metrics.messages)
+    table.note("same solution count on every machine size; virtual time falls")
+    table.show()
+
+
+if __name__ == "__main__":
+    main()

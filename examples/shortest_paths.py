@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Distributed shortest paths with the graph motif (§4 "graph theory").
+
+A vertex-partitioned graph, asynchronous chaotic relaxation, no global
+synchronization: the computation is finished exactly when the message
+system goes quiet, and the engine's quiescence detection turns that into
+end-of-stream for every worker.  Results are checked against NetworkX.
+
+Run:  python examples/shortest_paths.py
+"""
+
+from repro.analysis import Table
+from repro.apps.graphs import grid_graph, random_graph, reference_distances, run_sssp
+
+SOURCE = 0
+
+
+def main() -> None:
+    table = Table(
+        "Single-source shortest paths by chaotic relaxation",
+        ["graph", "nodes", "workers", "matches networkx", "virtual time",
+         "relaxation messages"],
+    )
+    for name, adj in (("6x6 lattice", grid_graph(6, 6)),
+                      ("random n=48 p=0.09", random_graph(48, 0.09, seed=5))):
+        ref = reference_distances(adj, SOURCE)
+        for workers in (1, 2, 4, 8):
+            got, metrics = run_sssp(adj, SOURCE, workers=workers, seed=2)
+            assert got == ref
+            table.add(name, len(adj), workers, got == ref,
+                      metrics.makespan, metrics.sends)
+    table.note("relaxation is order-independent: every schedule converges "
+               "to the exact BFS distances")
+    table.show()
+
+
+if __name__ == "__main__":
+    main()

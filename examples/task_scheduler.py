@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""The scheduler motif: §1's reuse-through-modification example.
+
+Three runs of the same bag-of-tasks application:
+
+1. the **flat** manager/worker scheduler (the Argonne Schedule model:
+   server 1 holds the queue and the idle-worker list);
+2. the **hierarchical** variant — the modification §1 describes
+   ("introducing additional levels in its manager/worker hierarchy");
+3. a **dependent-task** workload using declared data dependencies
+   ("A user provides a set of procedures and defines data dependencies
+   between them; the system schedules their execution appropriately").
+
+The user interface is a single pragma: ``work(N, O) @ task``.
+
+Run:  python examples/task_scheduler.py
+"""
+
+from repro.analysis import Table
+from repro.apps.taskbag import TASKBAG_SOURCE, expected_sum, register_taskbag
+from repro.core.api import run_applied
+from repro.machine import Machine
+from repro.motifs.scheduler import scheduled_application
+from repro.strand.parser import parse_program
+from repro.strand.terms import Struct, Var, deref
+
+TASKS = 40
+PROCESSORS = 9
+COST = 35.0
+
+DEPENDENT_APP = """
+% Pairwise tree sum where every combine step is itself a scheduled task
+% that depends on its two operands.
+tsum(leaf(X), Out) :- Out := X.
+tsum(tree(L, R), Out) :-
+    combine(O1, O2, Out) @ task,
+    tsum(L, O1),
+    tsum(R, O2).
+"""
+
+
+def run_bag(hierarchical: bool):
+    app = parse_program(TASKBAG_SOURCE, name="taskbag")
+    motif = scheduled_application(
+        entry=("main", 2),
+        hierarchical=hierarchical,
+        outputs={("work", 2): 1},
+        sync_outputs={("work", 2): 1},
+    )
+    applied = motif.apply(app)
+    applied.foreign_setup.append(lambda reg: register_taskbag(reg, cost=COST))
+    applied.user_names.add("work")
+    total = Var("Sum")
+    boot = Struct("boot", (TASKS, total, Var("Done")))
+    if hierarchical:
+        goal = Struct("create", (PROCESSORS, Struct("hinit", (4, boot))))
+    else:
+        goal = Struct("create", (PROCESSORS, Struct("minit", (boot,))))
+    _, metrics = run_applied(applied, goal, Machine(PROCESSORS, seed=1))
+    assert deref(total) == expected_sum(TASKS)
+    return metrics
+
+
+def run_dependent(depth: int = 5):
+    app = parse_program(DEPENDENT_APP, name="tsum")
+    motif = scheduled_application(
+        entry=("tsum", 2),
+        outputs={("combine", 3): 2},
+        sync_outputs={("combine", 3): 2},
+        dependencies={("combine", 3): (0, 1)},  # both operands must be known
+    )
+    applied = motif.apply(app)
+    applied.foreign_setup.append(
+        lambda reg: reg.register("combine", 3, lambda a, b: a + b, cost=25.0)
+    )
+    applied.user_names.add("combine")
+
+    def tree(d):
+        if d == 0:
+            return Struct("leaf", (1,))
+        return Struct("tree", (tree(d - 1), tree(d - 1)))
+
+    out = Var("Out")
+    goal = Struct(
+        "create",
+        (PROCESSORS,
+         Struct("minit", (Struct("boot", (tree(depth), out, Var("D"))),))),
+    )
+    _, metrics = run_applied(applied, goal, Machine(PROCESSORS, seed=2))
+    return deref(out), metrics
+
+
+def main() -> None:
+    table = Table(
+        f"Bag of {TASKS} tasks on {PROCESSORS} processors",
+        ["scheduler", "makespan", "manager busy", "manager share",
+         "efficiency"],
+    )
+    for name, hierarchical in (("flat", False), ("hierarchical", True)):
+        m = run_bag(hierarchical)
+        table.add(name, m.makespan, m.busy[0], m.busy[0] / m.total_busy,
+                  m.efficiency)
+    table.note("the hierarchy moves dispatch/completion traffic off the "
+               "top manager (paper §1)")
+    table.show()
+
+    value, metrics = run_dependent(depth=5)
+    print(f"dependent-task tree sum: {value} (expect 32) — tasks were "
+          f"submitted only when their operands were known, so the worker "
+          f"pool never deadlocked; makespan {metrics.makespan:.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Analysis utilities: load-balance statistics, program-size accounting,
+and the ASCII reporting used by every benchmark."""
+
+from repro.analysis.complexity import ProgramSize, diff_generated, measure
+from repro.analysis.loadbalance import LoadStats, load_stats
+from repro.analysis.reporting import Table, banner, format_value
+
+__all__ = [
+    "ProgramSize",
+    "measure",
+    "diff_generated",
+    "LoadStats",
+    "load_stats",
+    "Table",
+    "banner",
+    "format_value",
+]

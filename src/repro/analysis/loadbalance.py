@@ -1,0 +1,42 @@
+"""Load-balance analysis helpers (experiment E3 and friends)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.metrics import (
+    MachineMetrics,
+    coefficient_of_variation,
+    imbalance,
+    jain_fairness,
+)
+
+__all__ = ["LoadStats", "load_stats"]
+
+
+@dataclass(frozen=True)
+class LoadStats:
+    """Derived load figures for one run."""
+
+    processors: int
+    total_busy: float
+    max_busy: float
+    min_busy: float
+    imbalance: float       # max/mean; 1.0 is perfect
+    cv: float              # std/mean; 0.0 is perfect
+    fairness: float        # Jain index; 1.0 is perfect
+    efficiency: float      # busy / (P * makespan)
+
+
+def load_stats(metrics: MachineMetrics) -> LoadStats:
+    busy = metrics.busy
+    return LoadStats(
+        processors=metrics.processors,
+        total_busy=sum(busy),
+        max_busy=max(busy, default=0.0),
+        min_busy=min(busy, default=0.0),
+        imbalance=imbalance(busy),
+        cv=coefficient_of_variation(busy),
+        fairness=jain_fairness(busy),
+        efficiency=metrics.efficiency,
+    )

@@ -1,0 +1,6 @@
+"""Application-specific procedures: the "user code" the motifs coordinate."""
+
+from repro.apps import trees
+from repro.apps.trees import Leaf, Node, Tree
+
+__all__ = ["trees", "Leaf", "Node", "Tree"]

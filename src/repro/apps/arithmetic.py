@@ -1,0 +1,146 @@
+"""Arithmetic expression trees — the paper's §3.1 illustration workload.
+
+"Consider the following tree in which each non-leaf node represents a
+multiplication or addition operation.  Reduction of this tree corresponds
+to evaluation of the expression (3*2)*((3+1)+(2+... )) and yields the value
+24 at the root."
+
+Provides the paper's exact example tree, random arithmetic workload
+generators (uniform cost), and heavy-tailed variants modelling §3.1's
+"the time required at each node is non-uniform and cannot easily be
+predicted" (the biology case) for experiment E6.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.apps.trees import Leaf, Node, Tree, balanced_tree, random_tree, skewed_tree
+
+__all__ = [
+    "EVAL_SOURCE",
+    "paper_example_tree",
+    "paper_example_value",
+    "arithmetic_tree",
+    "eval_arith_node",
+    "uniform_cost",
+    "heavy_tailed_cost",
+    "make_cost_model",
+]
+
+#: Strand node-evaluation function for arithmetic trees (Figure 2, Part A).
+EVAL_SOURCE = """
+eval(add, L, R, Value) :- Value := L + R.
+eval(mul, L, R, Value) :- Value := L * R.
+eval(sub, L, R, Value) :- Value := L - R.
+eval(mx, L, R, Value)  :- L >= R | Value := L.
+eval(mx, L, R, Value)  :- L < R  | Value := R.
+"""
+
+
+def paper_example_tree() -> Tree:
+    """The §3.1 example: ``(3*2) * ((1+1)+(2*1)) = 24``.
+
+    (The paper's scanned rendering of the expression is garbled; this tree
+    is chosen to reduce to the stated value 24 with * and + nodes.)
+    """
+    return Node(
+        "mul",
+        Node("mul", Leaf(3), Leaf(2)),
+        Node("add", Node("add", Leaf(1), Leaf(1)), Node("mul", Leaf(2), Leaf(1))),
+    )
+
+
+#: The value the paper reports at the root.
+paper_example_value = 24
+
+
+def eval_arith_node(op: Any, left: Any, right: Any) -> Any:
+    """Python node evaluator matching :data:`EVAL_SOURCE`."""
+    name = getattr(op, "name", op)
+    if name == "add":
+        return left + right
+    if name == "mul":
+        return left * right
+    if name == "sub":
+        return left - right
+    if name == "mx":
+        return max(left, right)
+    raise ValueError(f"unknown operator {op!r}")
+
+
+def arithmetic_tree(
+    leaves: int,
+    seed: int = 0,
+    shape: str = "random",
+    ops: tuple[str, ...] = ("add", "mul"),
+    leaf_range: tuple[int, int] = (0, 9),
+) -> Tree:
+    """A random arithmetic tree.
+
+    ``shape`` is ``"random"`` (random splits), ``"balanced"`` (complete;
+    ``leaves`` rounded down to a power of two), or ``"skewed"``
+    (left spine).  ``mul`` on small leaf values keeps results bounded.
+    """
+    rng = random.Random(seed)
+
+    def op_fn(r: random.Random) -> str:
+        return r.choice(ops)
+
+    def leaf_fn(r: random.Random) -> int:
+        return r.randint(*leaf_range)
+
+    if shape == "random":
+        return random_tree(leaves, op_fn, leaf_fn, rng)
+    if shape == "balanced":
+        depth = max(0, leaves.bit_length() - 1)
+        return balanced_tree(depth, op_fn, leaf_fn, rng)
+    if shape == "skewed":
+        return skewed_tree(leaves, op_fn, leaf_fn, rng)
+    raise ValueError(f"unknown tree shape {shape!r}")
+
+
+# ---------------------------------------------------------------------------
+# Cost models (virtual time charged per node evaluation)
+# ---------------------------------------------------------------------------
+
+def uniform_cost(cost: float = 10.0):
+    """Every node evaluation takes the same virtual time — the §3.1
+    "simple arithmetic example" regime where static partitioning wins."""
+
+    def model(op: Any, left: Any, right: Any) -> float:
+        return cost
+
+    return model
+
+
+def heavy_tailed_cost(base: float = 5.0, spike: float = 200.0,
+                      spike_probability: float = 0.1, seed: int = 0):
+    """Unpredictable node costs — the §3.1 biology regime: most nodes are
+    cheap, a random minority are very expensive.
+
+    The cost is a deterministic hash of the node's operator and operand
+    values (plus the seed), so the *same node* costs the same under every
+    schedule and strategy — required for apples-to-apples comparisons in
+    experiment E6.
+    """
+    import zlib
+
+    threshold = int(spike_probability * 1_000_000)
+
+    def model(op: Any, left: Any, right: Any) -> float:
+        key = f"{getattr(op, 'name', op)}|{left}|{right}|{seed}"
+        h = zlib.crc32(key.encode()) % 1_000_000
+        return spike if h < threshold else base
+
+    return model
+
+
+def make_cost_model(kind: str, seed: int = 0):
+    """Factory used by benchmarks: ``'uniform'`` or ``'heavy'``."""
+    if kind == "uniform":
+        return uniform_cost()
+    if kind == "heavy":
+        return heavy_tailed_cost(seed=seed)
+    raise ValueError(f"unknown cost model {kind!r}")

@@ -1,0 +1,496 @@
+"""Multiple RNA sequence alignment — the paper's motivating application.
+
+§3: "the generation of alignments of multiple sequences of RNA from
+different but related organisms.  This application first generates a binary
+'phylogenetic tree', in which subtrees represent clusters of more closely
+related organisms.  Reduction of this tree using an 'align-node' function
+produces the desired alignment."
+
+The paper's data (Ross Overbeek's rRNA collection) and its 2000-line
+Strand+C ``align-node`` are unavailable; per DESIGN.md we substitute:
+
+* a **synthetic family generator**: evolve a random ancestral RNA sequence
+  down a random binary phylogeny with substitutions and indels;
+* **distance estimation**: pairwise Needleman–Wunsch identity →
+  Jukes–Cantor-corrected distances;
+* **UPGMA** guide-tree construction over the distance matrix;
+* a **profile–profile align-node**: Needleman–Wunsch over alignment
+  columns with sum-of-pairs column scoring.
+
+``align_node`` is registered as the foreign ``eval/4`` with cost equal to
+its dynamic-programming work — the non-uniform, input-dependent node cost
+§3.1 says the dynamic tree-reduction motifs exist for.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.apps.trees import Leaf, Node, Tree
+from repro.errors import ReproError
+
+__all__ = [
+    "ALPHABET",
+    "SequenceFamily",
+    "generate_family",
+    "needleman_wunsch",
+    "pairwise_identity",
+    "jukes_cantor",
+    "distance_matrix",
+    "upgma",
+    "guide_tree",
+    "align_node",
+    "align_cost",
+    "profile_width",
+    "sum_of_pairs",
+    "alignment_workload",
+    "neighbor_joining",
+    "guide_tree_nj",
+    "robinson_foulds",
+    "relabel_with_names",
+]
+
+ALPHABET = "ACGU"
+GAP = "-"
+
+# Scoring for both pairwise and profile alignment.
+MATCH = 2.0
+MISMATCH = -1.0
+GAP_PENALTY = -2.0
+
+
+@dataclass
+class SequenceFamily:
+    """A synthetic family: the sequences, their names, and the true tree
+    (names at the leaves) used to generate them."""
+
+    sequences: list[str]
+    names: list[str]
+    true_tree: Tree
+
+
+def _mutate(seq: str, rate: float, rng: random.Random) -> str:
+    """One evolutionary edge: per-site substitution with probability
+    ``rate``, plus occasional single-base indels at ``rate / 5``."""
+    out: list[str] = []
+    for ch in seq:
+        r = rng.random()
+        if r < rate:
+            ch = rng.choice([c for c in ALPHABET if c != ch])
+            out.append(ch)
+        elif r < rate + rate / 10:
+            pass  # deletion
+        elif r < rate + rate / 5:
+            out.append(ch)
+            out.append(rng.choice(ALPHABET))  # insertion
+        else:
+            out.append(ch)
+    if not out:  # never let a sequence vanish entirely
+        out.append(rng.choice(ALPHABET))
+    return "".join(out)
+
+
+def generate_family(
+    n_sequences: int = 8,
+    root_length: int = 60,
+    mutation_rate: float = 0.08,
+    seed: int = 0,
+) -> SequenceFamily:
+    """Evolve a family of related RNA sequences down a random phylogeny."""
+    if n_sequences < 2:
+        raise ReproError("a family needs at least two sequences")
+    rng = random.Random(seed)
+    root = "".join(rng.choice(ALPHABET) for _ in range(root_length))
+
+    counter = [0]
+
+    def evolve(seq: str, leaves: int) -> tuple[Tree, list[tuple[str, str]]]:
+        if leaves == 1:
+            counter[0] += 1
+            name = f"org{counter[0]:02d}"
+            return Leaf(name), [(name, seq)]
+        k = rng.randint(1, leaves - 1)
+        left_seq = _mutate(seq, mutation_rate, rng)
+        right_seq = _mutate(seq, mutation_rate, rng)
+        lt, ls = evolve(left_seq, k)
+        rt, rs = evolve(right_seq, leaves - k)
+        return Node("split", lt, rt), ls + rs
+
+    tree, named = evolve(root, n_sequences)
+    names = [n for n, _ in named]
+    seqs = [s for _, s in named]
+    return SequenceFamily(sequences=seqs, names=names, true_tree=tree)
+
+
+# ---------------------------------------------------------------------------
+# Pairwise alignment and distances
+# ---------------------------------------------------------------------------
+
+def needleman_wunsch(a: str, b: str) -> tuple[str, str, float]:
+    """Global alignment of two sequences.  Returns the two gapped strings
+    and the alignment score."""
+    n, m = len(a), len(b)
+    # score[i][j] = best score of a[:i] vs b[:j]
+    score = [[0.0] * (m + 1) for _ in range(n + 1)]
+    for i in range(1, n + 1):
+        score[i][0] = i * GAP_PENALTY
+    for j in range(1, m + 1):
+        score[0][j] = j * GAP_PENALTY
+    for i in range(1, n + 1):
+        ai = a[i - 1]
+        row = score[i]
+        prev = score[i - 1]
+        for j in range(1, m + 1):
+            sub = prev[j - 1] + (MATCH if ai == b[j - 1] else MISMATCH)
+            dele = prev[j] + GAP_PENALTY
+            ins = row[j - 1] + GAP_PENALTY
+            row[j] = max(sub, dele, ins)
+    # traceback
+    out_a: list[str] = []
+    out_b: list[str] = []
+    i, j = n, m
+    while i > 0 or j > 0:
+        if i > 0 and j > 0 and math.isclose(
+            score[i][j],
+            score[i - 1][j - 1] + (MATCH if a[i - 1] == b[j - 1] else MISMATCH),
+        ):
+            out_a.append(a[i - 1])
+            out_b.append(b[j - 1])
+            i -= 1
+            j -= 1
+        elif i > 0 and math.isclose(score[i][j], score[i - 1][j] + GAP_PENALTY):
+            out_a.append(a[i - 1])
+            out_b.append(GAP)
+            i -= 1
+        else:
+            out_a.append(GAP)
+            out_b.append(b[j - 1])
+            j -= 1
+    return "".join(reversed(out_a)), "".join(reversed(out_b)), score[n][m]
+
+
+def pairwise_identity(a: str, b: str) -> float:
+    """Fraction of identical aligned positions (gap positions excluded)."""
+    ga, gb, _ = needleman_wunsch(a, b)
+    same = 0
+    compared = 0
+    for x, y in zip(ga, gb):
+        if x != GAP and y != GAP:
+            compared += 1
+            if x == y:
+                same += 1
+    if compared == 0:
+        return 0.0
+    return same / compared
+
+
+def jukes_cantor(p_distance: float) -> float:
+    """Jukes–Cantor correction ``-3/4 ln(1 - 4p/3)``, clamped at the model's
+    saturation point."""
+    p = min(max(p_distance, 0.0), 0.7499)
+    return -0.75 * math.log(1.0 - 4.0 * p / 3.0)
+
+
+def distance_matrix(sequences: list[str]) -> list[list[float]]:
+    """Symmetric JC-corrected distance matrix from pairwise alignments."""
+    n = len(sequences)
+    d = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            p = 1.0 - pairwise_identity(sequences[i], sequences[j])
+            d[i][j] = d[j][i] = jukes_cantor(p)
+    return d
+
+
+# ---------------------------------------------------------------------------
+# UPGMA guide tree
+# ---------------------------------------------------------------------------
+
+def upgma(distances: list[list[float]], labels: list) -> Tree:
+    """UPGMA clustering: repeatedly join the closest pair, averaging
+    distances weighted by cluster sizes.  Leaves carry the given labels;
+    internal nodes carry the operator tag ``"align"``."""
+    n = len(labels)
+    if n == 0:
+        raise ReproError("upgma needs at least one label")
+    if any(len(row) != n for row in distances) or len(distances) != n:
+        raise ReproError("distance matrix shape does not match labels")
+    clusters: dict[int, Tree] = {i: Leaf(labels[i]) for i in range(n)}
+    sizes: dict[int, int] = {i: 1 for i in range(n)}
+    dist: dict[tuple[int, int], float] = {}
+    for i in range(n):
+        for j in range(i + 1, n):
+            dist[(i, j)] = distances[i][j]
+    next_id = n
+    while len(clusters) > 1:
+        (a, b), _ = min(
+            ((pair, d) for pair, d in dist.items()
+             if pair[0] in clusters and pair[1] in clusters),
+            key=lambda item: (item[1], item[0]),
+        )
+        merged = Node("align", clusters[a], clusters[b])
+        size_a, size_b = sizes[a], sizes[b]
+        del clusters[a], clusters[b]
+        for other in clusters:
+            da = dist[_key(a, other)]
+            db = dist[_key(b, other)]
+            dist[_key(next_id, other)] = (da * size_a + db * size_b) / (size_a + size_b)
+        clusters[next_id] = merged
+        sizes[next_id] = size_a + size_b
+        next_id += 1
+    (tree,) = clusters.values()
+    return tree
+
+
+def _key(i: int, j: int) -> tuple[int, int]:
+    return (i, j) if i < j else (j, i)
+
+
+def guide_tree(family: SequenceFamily) -> Tree:
+    """UPGMA guide tree whose leaves carry single-sequence *profiles*
+    (lists of one string) — ready for tree reduction with
+    :func:`align_node`."""
+    d = distance_matrix(family.sequences)
+    return upgma(d, [[seq] for seq in family.sequences])
+
+
+# ---------------------------------------------------------------------------
+# Profile–profile align-node (the tree-reduction operator)
+# ---------------------------------------------------------------------------
+
+def profile_width(profile: list[str]) -> int:
+    if not profile:
+        raise ReproError("empty profile")
+    width = len(profile[0])
+    if any(len(row) != width for row in profile):
+        raise ReproError("ragged profile")
+    return width
+
+
+def _column_score(col_a: list[str], col_b: list[str]) -> float:
+    """Average sum-of-pairs score of aligning two profile columns."""
+    total = 0.0
+    for x in col_a:
+        for y in col_b:
+            if x == GAP or y == GAP:
+                total += GAP_PENALTY / 2.0
+            elif x == y:
+                total += MATCH
+            else:
+                total += MISMATCH
+    return total / (len(col_a) * len(col_b))
+
+
+def align_node(op, left: list[str], right: list[str]) -> list[str]:
+    """Profile–profile Needleman–Wunsch: the ``align-node`` operator.
+
+    ``op`` is the node tag from the guide tree (unused, present to match
+    the ``eval(V, LV, RV, Value)`` calling convention).  Both profiles are
+    lists of equal-length gapped strings; the result is a single merged
+    profile containing every input row.
+    """
+    la = [str(s) for s in left]
+    ra = [str(s) for s in right]
+    wa, wb = profile_width(la), profile_width(ra)
+    cols_a = [[row[i] for row in la] for i in range(wa)]
+    cols_b = [[row[j] for row in ra] for j in range(wb)]
+    score = [[0.0] * (wb + 1) for _ in range(wa + 1)]
+    for i in range(1, wa + 1):
+        score[i][0] = i * GAP_PENALTY
+    for j in range(1, wb + 1):
+        score[0][j] = j * GAP_PENALTY
+    for i in range(1, wa + 1):
+        row = score[i]
+        prev = score[i - 1]
+        ca = cols_a[i - 1]
+        for j in range(1, wb + 1):
+            sub = prev[j - 1] + _column_score(ca, cols_b[j - 1])
+            dele = prev[j] + GAP_PENALTY
+            ins = row[j - 1] + GAP_PENALTY
+            row[j] = max(sub, dele, ins)
+    # traceback into per-input column index lists
+    path: list[tuple[str, int, int]] = []
+    i, j = wa, wb
+    while i > 0 or j > 0:
+        if i > 0 and j > 0 and math.isclose(
+            score[i][j], score[i - 1][j - 1] + _column_score(cols_a[i - 1], cols_b[j - 1])
+        ):
+            path.append(("both", i - 1, j - 1))
+            i -= 1
+            j -= 1
+        elif i > 0 and math.isclose(score[i][j], score[i - 1][j] + GAP_PENALTY):
+            path.append(("a", i - 1, -1))
+            i -= 1
+        else:
+            path.append(("b", -1, j - 1))
+            j -= 1
+    path.reverse()
+    merged: list[list[str]] = [[] for _ in range(len(la) + len(ra))]
+    for kind, ia, jb in path:
+        for r, row_str in enumerate(la):
+            merged[r].append(row_str[ia] if kind in ("both", "a") else GAP)
+        for r, row_str in enumerate(ra):
+            merged[len(la) + r].append(row_str[jb] if kind in ("both", "b") else GAP)
+    return ["".join(chars) for chars in merged]
+
+
+def align_cost(op, left: list[str], right: list[str]) -> float:
+    """Virtual cost of :func:`align_node`: the DP table work
+    ``width_a × width_b × (rows_a + rows_b)``, scaled down to keep virtual
+    times readable."""
+    wa = len(left[0]) if left else 1
+    wb = len(right[0]) if right else 1
+    return max(1.0, wa * wb * (len(left) + len(right)) / 100.0)
+
+
+def sum_of_pairs(alignment: list[str]) -> float:
+    """Sum-of-pairs score of a multiple alignment (quality figure used to
+    check schedule-independence in experiment E10)."""
+    width = profile_width(alignment)
+    total = 0.0
+    for c in range(width):
+        col = [row[c] for row in alignment]
+        for i in range(len(col)):
+            for j in range(i + 1, len(col)):
+                x, y = col[i], col[j]
+                if x == GAP and y == GAP:
+                    continue
+                if x == GAP or y == GAP:
+                    total += GAP_PENALTY / 2.0
+                elif x == y:
+                    total += MATCH
+                else:
+                    total += MISMATCH
+    return total
+
+
+def alignment_workload(
+    n_sequences: int = 8,
+    root_length: int = 40,
+    seed: int = 0,
+) -> tuple[SequenceFamily, Tree]:
+    """Convenience: a family plus its guide tree, ready for
+    ``reduce_tree(tree, align_node, eval_cost=align_cost, ...)``."""
+    family = generate_family(n_sequences, root_length, seed=seed)
+    return family, guide_tree(family)
+
+
+# ---------------------------------------------------------------------------
+# Neighbor-Joining (alternative guide-tree method) and tree comparison
+# ---------------------------------------------------------------------------
+
+def neighbor_joining(distances: list[list[float]], labels: list) -> Tree:
+    """Saitou–Nei neighbor joining, returning a (rooted) binary guide tree.
+
+    NJ recovers the true topology for *additive* distance matrices even
+    when evolutionary rates vary across lineages, which UPGMA (molecular
+    clock assumed) does not — the standard upgrade path for the paper's
+    phylogenetic preprocessing.  NJ trees are unrooted; the final two
+    clusters are joined to make a root, which is all a guide tree needs.
+    """
+    n = len(labels)
+    if n == 0:
+        raise ReproError("neighbor_joining needs at least one label")
+    if len(distances) != n or any(len(row) != n for row in distances):
+        raise ReproError("distance matrix shape does not match labels")
+    if n == 1:
+        return Leaf(labels[0])
+    nodes: dict[int, Tree] = {i: Leaf(labels[i]) for i in range(n)}
+    dist: dict[tuple[int, int], float] = {
+        _key(i, j): distances[i][j] for i in range(n) for j in range(i + 1, n)
+    }
+    active = set(range(n))
+    next_id = n
+    while len(active) > 2:
+        m = len(active)
+        totals = {
+            i: sum(dist[_key(i, j)] for j in active if j != i) for i in active
+        }
+        best = None
+        ordered = sorted(active)
+        for ai, i in enumerate(ordered):
+            for j in ordered[ai + 1:]:
+                q = (m - 2) * dist[_key(i, j)] - totals[i] - totals[j]
+                if best is None or q < best[0]:
+                    best = (q, i, j)
+        _, i, j = best
+        merged = Node("align", nodes[i], nodes[j])
+        d_ij = dist[_key(i, j)]
+        for k in active:
+            if k in (i, j):
+                continue
+            dist[_key(next_id, k)] = 0.5 * (
+                dist[_key(i, k)] + dist[_key(j, k)] - d_ij
+            )
+        active.discard(i)
+        active.discard(j)
+        del nodes[i], nodes[j]
+        nodes[next_id] = merged
+        active.add(next_id)
+        next_id += 1
+    i, j = sorted(active)
+    return Node("align", nodes[i], nodes[j])
+
+
+def _leaf_set(tree: Tree) -> frozenset:
+    stack, out = [tree], []
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Leaf):
+            out.append(node.value)
+        else:
+            stack.extend((node.left, node.right))
+    return frozenset(out)
+
+
+def _bipartitions(tree: Tree) -> set[frozenset]:
+    """Non-trivial leaf bipartitions (as the smaller-side frozenset of an
+    unrooted view): the standard input to Robinson–Foulds."""
+    all_leaves = _leaf_set(tree)
+    splits: set[frozenset] = set()
+
+    def walk(node: Tree) -> frozenset:
+        if isinstance(node, Leaf):
+            return frozenset([node.value])
+        left = walk(node.left)
+        right = walk(node.right)
+        clade = left | right
+        if 1 < len(clade) < len(all_leaves) - 1:
+            other = all_leaves - clade
+            splits.add(min(clade, other, key=lambda s: (len(s), sorted(map(str, s)))))
+        return clade
+
+    walk(tree)
+    return splits
+
+
+def robinson_foulds(a: Tree, b: Tree) -> int:
+    """Robinson–Foulds distance between two (leaf-labelled) binary trees:
+    the number of bipartitions present in exactly one of them.  0 means
+    identical unrooted topologies."""
+    if _leaf_set(a) != _leaf_set(b):
+        raise ReproError("robinson_foulds: trees have different leaf sets")
+    sa, sb = _bipartitions(a), _bipartitions(b)
+    return len(sa ^ sb)
+
+
+def guide_tree_nj(family: SequenceFamily) -> Tree:
+    """Neighbor-joining guide tree with single-sequence profiles at the
+    leaves (drop-in alternative to :func:`guide_tree`)."""
+    d = distance_matrix(family.sequences)
+    return neighbor_joining(d, [[seq] for seq in family.sequences])
+
+
+def relabel_with_names(tree: Tree, family: SequenceFamily) -> Tree:
+    """Replace single-sequence-profile leaves by their organism names
+    (for comparing a guide tree against ``family.true_tree``)."""
+    by_seq = {seq: name for name, seq in zip(family.names, family.sequences)}
+
+    def walk(node: Tree) -> Tree:
+        if isinstance(node, Leaf):
+            return Leaf(by_seq[node.value[0]])
+        return Node(node.op, walk(node.left), walk(node.right))
+
+    return walk(tree)

@@ -1,0 +1,78 @@
+"""Graph workloads for the graph motif (§4 "graph theory problems").
+
+NetworkX supplies the reference shortest-path answers and random-graph
+generators; the distributed computation itself runs entirely in the
+Strand substrate.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.api import run_applied
+from repro.machine import Machine
+from repro.motifs.graph import graph_motif, sssp_goals
+from repro.strand.terms import deref, iter_list
+
+__all__ = [
+    "random_graph",
+    "grid_graph",
+    "cycle_graph",
+    "reference_distances",
+    "run_sssp",
+]
+
+
+def random_graph(nodes: int, edge_probability: float = 0.15,
+                 seed: int = 0) -> dict[int, list[int]]:
+    """A connected Erdős–Rényi-ish graph as an adjacency dict (undirected:
+    both directions listed)."""
+    g = nx.gnp_random_graph(nodes, edge_probability, seed=seed)
+    # Connect stragglers to node 0 so every node is reachable.
+    for node in list(g.nodes):
+        if node != 0 and not nx.has_path(g, 0, node):
+            g.add_edge(node - 1 if node > 0 else 0, node)
+    return {n: sorted(g.neighbors(n)) for n in g.nodes}
+
+
+def grid_graph(rows: int, cols: int) -> dict[int, list[int]]:
+    """A rows×cols lattice with integer node ids ``r*cols + c``."""
+    g = nx.grid_2d_graph(rows, cols)
+    relabel = {(r, c): r * cols + c for r, c in g.nodes}
+    g = nx.relabel_nodes(g, relabel)
+    return {n: sorted(g.neighbors(n)) for n in g.nodes}
+
+
+def cycle_graph(nodes: int) -> dict[int, list[int]]:
+    g = nx.cycle_graph(nodes)
+    return {n: sorted(g.neighbors(n)) for n in g.nodes}
+
+
+def reference_distances(adjacency: dict[int, list[int]], source: int) -> dict[int, int]:
+    """NetworkX BFS distances from the source (unreachable nodes absent)."""
+    g = nx.Graph()
+    g.add_nodes_from(adjacency)
+    for node, neighbours in adjacency.items():
+        for nb in neighbours:
+            g.add_edge(node, nb)
+    return dict(nx.single_source_shortest_path_length(g, source))
+
+
+def run_sssp(adjacency: dict[int, list[int]], source: int, workers: int,
+             seed: int = 0, machine: Machine | None = None):
+    """Run the distributed SSSP and return ``(distances, metrics)``."""
+    from repro.strand.program import Program
+
+    applied = graph_motif().apply(Program(name="sssp"))
+    goals, results, _ports = sssp_goals(adjacency, source, workers)
+    if machine is None:
+        machine = Machine(workers, seed=seed)
+    _, metrics = run_applied(applied, goals, machine)
+    distances: dict[int, int] = {}
+    for result in results:
+        for entry in iter_list(deref(result)):
+            entry = deref(entry)
+            node = deref(entry.args[0])
+            dist = deref(entry.args[1])
+            distances[node] = dist
+    return distances, metrics

@@ -1,0 +1,127 @@
+"""Jacobi relaxation workloads for the grid motif (§4 "grid problems").
+
+The domain is a 2-D grid of floats with a fixed boundary value; one Jacobi
+sweep replaces each interior cell with the average of its four neighbours.
+A NumPy reference implementation validates the distributed strips.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.strand.foreign import ForeignRegistry
+from repro.strand.terms import Atom
+
+__all__ = [
+    "make_grid",
+    "split_strips",
+    "join_strips",
+    "jacobi_reference",
+    "top_row",
+    "bottom_row",
+    "sweep",
+    "register_grid",
+    "EDGE_VALUE",
+]
+
+#: The fixed boundary value represented by the atom ``edge``.
+EDGE_VALUE = 0.0
+
+_EDGE = Atom("edge")
+
+
+def make_grid(rows: int, cols: int, hot: float = 100.0) -> list[list[float]]:
+    """A grid that is zero everywhere except a hot patch in the middle."""
+    grid = [[0.0] * cols for _ in range(rows)]
+    for r in range(rows // 3, max(rows // 3 + 1, 2 * rows // 3)):
+        for c in range(cols // 3, max(cols // 3 + 1, 2 * cols // 3)):
+            grid[r][c] = hot
+    return grid
+
+
+def split_strips(grid: list[list[float]], workers: int) -> list[list[list[float]]]:
+    """Split rows into ``workers`` contiguous strips (sizes differing by at
+    most one)."""
+    rows = len(grid)
+    if workers < 1 or workers > rows:
+        raise ReproError(f"cannot split {rows} rows into {workers} strips")
+    base, extra = divmod(rows, workers)
+    strips = []
+    start = 0
+    for w in range(workers):
+        size = base + (1 if w < extra else 0)
+        strips.append([row[:] for row in grid[start:start + size]])
+        start += size
+    return strips
+
+
+def join_strips(strips: list[list[list[float]]]) -> list[list[float]]:
+    out: list[list[float]] = []
+    for strip in strips:
+        out.extend(strip)
+    return out
+
+
+def jacobi_reference(grid: list[list[float]], iterations: int,
+                     edge: float = EDGE_VALUE) -> list[list[float]]:
+    """NumPy reference: ``iterations`` Jacobi sweeps with a constant
+    boundary ring."""
+    a = np.array(grid, dtype=float)
+    for _ in range(iterations):
+        padded = np.pad(a, 1, constant_values=edge)
+        a = (
+            padded[:-2, 1:-1] + padded[2:, 1:-1] +
+            padded[1:-1, :-2] + padded[1:-1, 2:]
+        ) / 4.0
+    return a.tolist()
+
+
+# ---------------------------------------------------------------------------
+# Foreign procedures for the grid motif
+# ---------------------------------------------------------------------------
+
+def top_row(strip: list) -> list:
+    return list(strip[0])
+
+
+def bottom_row(strip: list) -> list:
+    return list(strip[-1])
+
+
+def _as_row(value, cols: int) -> list[float]:
+    if value is _EDGE:
+        return [EDGE_VALUE] * cols
+    return list(value)
+
+
+def sweep(strip: list, above, below) -> list:
+    """One Jacobi sweep over a strip given its neighbour boundary rows
+    (or the ``edge`` atom for the domain boundary)."""
+    rows = len(strip)
+    cols = len(strip[0])
+    ab = _as_row(above, cols)
+    be = _as_row(below, cols)
+    a = np.array(strip, dtype=float)
+    padded = np.empty((rows + 2, cols + 2), dtype=float)
+    padded[1:-1, 1:-1] = a
+    padded[0, 1:-1] = ab
+    padded[-1, 1:-1] = be
+    padded[:, 0] = EDGE_VALUE
+    padded[:, -1] = EDGE_VALUE
+    # Corner cells are never read by the 5-point stencil.
+    new = (
+        padded[:-2, 1:-1] + padded[2:, 1:-1] +
+        padded[1:-1, :-2] + padded[1:-1, 2:]
+    ) / 4.0
+    return new.tolist()
+
+
+def register_grid(registry: ForeignRegistry, unit: float = 0.02) -> None:
+    """Register the grid primitives; ``sweep`` costs ∝ strip cells."""
+    registry.register("top_row", 2, top_row, cost=1.0)
+    registry.register("bottom_row", 2, bottom_row, cost=1.0)
+    registry.register(
+        "sweep", 4, sweep,
+        cost=lambda strip, above, below: max(1.0, unit * len(strip) * len(strip[0])),
+    )

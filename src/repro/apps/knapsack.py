@@ -1,0 +1,119 @@
+"""0/1 knapsack workloads for the branch-and-bound motif.
+
+A search node is ``[index, value, weight]``: items ``0..index-1`` have been
+decided, accumulating ``value`` and ``weight``.  The optimistic bound is
+the classic fractional-knapsack completion (items pre-sorted by value
+density), which dominates the true best completion — required for
+branch-and-bound correctness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.strand.foreign import ForeignRegistry
+
+__all__ = [
+    "KnapsackProblem",
+    "random_knapsack",
+    "register_knapsack",
+    "solve_reference",
+    "root_node",
+]
+
+
+@dataclass(frozen=True)
+class KnapsackProblem:
+    """Items sorted by value density (descending), plus the capacity."""
+
+    values: tuple[int, ...]
+    weights: tuple[int, ...]
+    capacity: int
+
+    def __post_init__(self):
+        if len(self.values) != len(self.weights):
+            raise ReproError("values/weights length mismatch")
+        if any(w <= 0 for w in self.weights) or any(v < 0 for v in self.values):
+            raise ReproError("weights must be positive, values non-negative")
+
+    @property
+    def size(self) -> int:
+        return len(self.values)
+
+
+def random_knapsack(items: int, seed: int = 0, capacity_ratio: float = 0.4
+                    ) -> KnapsackProblem:
+    """A random instance, items pre-sorted by density."""
+    rng = random.Random(seed)
+    pairs = [(rng.randint(5, 60), rng.randint(3, 30)) for _ in range(items)]
+    pairs.sort(key=lambda vw: vw[0] / vw[1], reverse=True)
+    values = tuple(v for v, _ in pairs)
+    weights = tuple(w for _, w in pairs)
+    capacity = max(1, int(sum(weights) * capacity_ratio))
+    return KnapsackProblem(values, weights, capacity)
+
+
+def root_node() -> list[int]:
+    return [0, 0, 0]
+
+
+def _bound(problem: KnapsackProblem, node: list[int]) -> float:
+    """Fractional completion bound (density order makes it greedy-optimal)."""
+    index, value, weight = node
+    room = problem.capacity - weight
+    bound = float(value)
+    for i in range(index, problem.size):
+        w = problem.weights[i]
+        if w <= room:
+            room -= w
+            bound += problem.values[i]
+        else:
+            bound += problem.values[i] * room / w
+            break
+    return bound
+
+
+def _expand(problem: KnapsackProblem, node: list[int]) -> list[list[int]]:
+    index, value, weight = node
+    if index >= problem.size:
+        return []
+    children = [[index + 1, value, weight]]  # skip item
+    w = problem.weights[index]
+    if weight + w <= problem.capacity:
+        children.append([index + 1, value + problem.values[index], weight + w])
+    return children
+
+
+def register_knapsack(registry: ForeignRegistry, problem: KnapsackProblem,
+                      *, prune: bool = True, step_cost: float = 3.0) -> None:
+    """Register ``bound_bb/leaf_bb/value_bb/expand_bb`` for the instance.
+
+    ``prune=False`` replaces the bound with +infinity (never prunes) —
+    the ablation baseline for measuring pruning effectiveness.
+    """
+    if prune:
+        registry.register("bound_bb", 2,
+                          lambda node: _bound(problem, node), cost=step_cost)
+    else:
+        registry.register("bound_bb", 2,
+                          lambda node: float(sum(problem.values) + 1),
+                          cost=step_cost)
+    registry.register("leaf_bb", 2,
+                      lambda node: 1 if node[0] >= problem.size else 0,
+                      cost=1.0)
+    registry.register("value_bb", 2, lambda node: node[1], cost=1.0)
+    registry.register("expand_bb", 2,
+                      lambda node: _expand(problem, node), cost=step_cost)
+
+
+def solve_reference(problem: KnapsackProblem) -> int:
+    """Exact optimum by dynamic programming (reference answer)."""
+    best = [0] * (problem.capacity + 1)
+    for v, w in zip(problem.values, problem.weights):
+        for cap in range(problem.capacity, w - 1, -1):
+            candidate = best[cap - w] + v
+            if candidate > best[cap]:
+                best[cap] = candidate
+    return best[problem.capacity]

@@ -1,0 +1,73 @@
+"""N-queens as a search-motif workload (or-parallel search, §1/§4).
+
+A search node is a flat list ``[n, c1, ..., ck]``: board size plus the
+column of the queen in each of the first ``k`` rows.  ``expand`` yields the
+safe one-row extensions; a node is a solution when all ``n`` rows are
+placed.
+"""
+
+from __future__ import annotations
+
+from repro.strand.foreign import ForeignRegistry
+
+__all__ = [
+    "root_node",
+    "expand",
+    "solution",
+    "count_solutions_sequential",
+    "register_queens",
+    "KNOWN_COUNTS",
+]
+
+#: Reference solution counts for validation.
+KNOWN_COUNTS = {1: 1, 2: 0, 3: 0, 4: 2, 5: 10, 6: 4, 7: 40, 8: 92, 9: 352}
+
+
+def root_node(n: int) -> list[int]:
+    """The empty board for an ``n x n`` problem."""
+    return [n]
+
+
+def _safe(cols: list[int], col: int) -> bool:
+    row = len(cols)
+    for r, c in enumerate(cols):
+        if c == col or abs(c - col) == row - r:
+            return False
+    return True
+
+
+def expand(node: list[int]) -> list[list[int]]:
+    """Children of a node: all safe placements in the next row."""
+    n, cols = node[0], node[1:]
+    if len(cols) >= n:
+        return []
+    return [[n, *cols, col] for col in range(n) if _safe(cols, col)]
+
+
+def solution(node: list[int]) -> int:
+    """1 if the node is a complete placement, else 0."""
+    n, cols = node[0], node[1:]
+    return 1 if len(cols) == n else 0
+
+
+def count_solutions_sequential(n: int) -> int:
+    """Reference sequential count (explicit stack)."""
+    count = 0
+    stack = [root_node(n)]
+    while stack:
+        node = stack.pop()
+        count += solution(node)
+        stack.extend(expand(node))
+    return count
+
+
+def register_queens(registry: ForeignRegistry, cost: float = 2.0) -> None:
+    """Register ``expand/2`` and ``sol/2`` for the search motif.
+
+    ``expand``'s cost grows with the prefix length (checking safety of up
+    to ``n`` columns against ``k`` placed queens).
+    """
+    registry.register(
+        "expand", 2, expand, cost=lambda node: cost + 0.2 * len(node) * node[0]
+    )
+    registry.register("sol", 2, solution, cost=1.0)

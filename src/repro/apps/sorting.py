@@ -1,0 +1,62 @@
+"""Sorting workloads for the sort motif (§4 future work)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.strand.foreign import ForeignRegistry
+
+__all__ = [
+    "random_list",
+    "halve",
+    "merge_sorted",
+    "sort_seq",
+    "register_sorting",
+]
+
+
+def random_list(n: int, seed: int = 0, bound: int = 10_000) -> list[int]:
+    rng = random.Random(seed)
+    return [rng.randint(0, bound) for _ in range(n)]
+
+
+def halve(xs: list) -> tuple[list, list]:
+    mid = len(xs) // 2
+    return xs[:mid], xs[mid:]
+
+
+def merge_sorted(a: list, b: list) -> list:
+    out = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        if a[i] <= b[j]:
+            out.append(a[i])
+            i += 1
+        else:
+            out.append(b[j])
+            j += 1
+    out.extend(a[i:])
+    out.extend(b[j:])
+    return out
+
+
+def sort_seq(xs: list) -> list:
+    return sorted(xs)
+
+
+def register_sorting(registry: ForeignRegistry, unit: float = 0.05) -> None:
+    """Register the sorting primitives with length-proportional costs
+    (sequential sort pays the ``n log n`` factor)."""
+    import math
+
+    registry.register(
+        "halve", 3, halve, outputs=(1, 2), cost=lambda xs: max(1.0, unit * len(xs))
+    )
+    registry.register(
+        "merge_sorted", 3, merge_sorted,
+        cost=lambda a, b: max(1.0, unit * (len(a) + len(b))),
+    )
+    registry.register(
+        "sort_seq", 2, sort_seq,
+        cost=lambda xs: max(1.0, unit * len(xs) * max(1.0, math.log2(max(2, len(xs))))),
+    )

@@ -1,0 +1,52 @@
+"""Bag-of-tasks workloads for the scheduler motif (§1, [2,5]).
+
+The Schedule-package model: independent tasks whose inputs are ready at
+submission time; the scheduler's job is purely load balancing.  ``main``
+generates ``T`` tasks and folds their results; each ``work(I, O)`` is a
+foreign call with a configurable (possibly skewed) cost.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.strand.foreign import ForeignRegistry
+
+__all__ = ["TASKBAG_SOURCE", "work", "expected_sum", "register_taskbag", "skewed_cost"]
+
+TASKBAG_SOURCE = """
+% main(T, Sum): run T independent tasks, summing their outputs.
+main(T, Sum) :- gen(T, Sum).
+gen(N, Sum) :- N > 0 |
+    work(N, O) @ task,
+    N1 := N - 1,
+    gen(N1, Sum1),
+    Sum := O + Sum1.
+gen(0, Sum) :- Sum := 0.
+"""
+
+
+def work(i: int) -> int:
+    """The task body: a deterministic function of the task index."""
+    return i * i
+
+
+def expected_sum(tasks: int) -> int:
+    return sum(work(i) for i in range(1, tasks + 1))
+
+
+def skewed_cost(base: float = 8.0, spike: float = 120.0,
+                spike_probability: float = 0.15, seed: int = 0):
+    """Schedule-independent skewed task costs (hash of the task index)."""
+    threshold = int(spike_probability * 1_000_000)
+
+    def model(i: int) -> float:
+        h = zlib.crc32(f"{i}|{seed}".encode()) % 1_000_000
+        return spike if h < threshold else base
+
+    return model
+
+
+def register_taskbag(registry: ForeignRegistry, cost=10.0) -> None:
+    """Register ``work/2``; ``cost`` is a number or ``fn(i) -> float``."""
+    registry.register("work", 2, work, cost=cost)

@@ -1,0 +1,295 @@
+"""Binary trees: Python-side construction, Strand-term conversion, and the
+Tree-Reduce-2 preprocessing (node identifiers + processor labels).
+
+The same tree has two representations:
+
+* the **nested term** ``tree(Op, L, R)`` / ``leaf(X)`` consumed by
+  Tree-Reduce-1 and the static partition motif, and
+* the **flat table** (a tuple of ``leaf``/``op`` entries, §3.5) consumed by
+  Tree-Reduce-2, produced by :func:`label_table`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Union
+
+from repro.errors import ReproError
+from repro.strand.foreign import from_python
+from repro.strand.terms import Atom, Struct, Term, Tup, deref
+
+__all__ = [
+    "Leaf",
+    "Node",
+    "Tree",
+    "tree_term",
+    "tree_from_term",
+    "tree_size",
+    "leaf_count",
+    "tree_depth",
+    "sequential_reduce",
+    "random_tree",
+    "balanced_tree",
+    "skewed_tree",
+    "label_table",
+    "TableEntry",
+]
+
+
+@dataclass(frozen=True)
+class Leaf:
+    """A leaf node carrying a Python value."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class Node:
+    """An internal node: an operator tag plus two children."""
+
+    op: Any
+    left: "Tree"
+    right: "Tree"
+
+
+Tree = Union[Leaf, Node]
+
+
+def tree_term(tree: Tree) -> Term:
+    """Convert to the nested Strand term ``tree(Op, L, R)`` / ``leaf(X)``."""
+    if isinstance(tree, Leaf):
+        return Struct("leaf", (from_python(tree.value),))
+    op = tree.op if isinstance(tree.op, (int, float, str, Atom)) else from_python(tree.op)
+    if isinstance(op, str):
+        op = Atom(op)
+    return Struct("tree", (op, tree_term(tree.left), tree_term(tree.right)))
+
+
+def tree_from_term(term: Term) -> Tree:
+    """Inverse of :func:`tree_term` (for ground trees)."""
+    term = deref(term)
+    if type(term) is Struct and term.functor == "leaf" and len(term.args) == 1:
+        from repro.strand.foreign import to_python
+
+        return Leaf(to_python(term.args[0]))
+    if type(term) is Struct and term.functor == "tree" and len(term.args) == 3:
+        op = deref(term.args[0])
+        if type(op) is Atom:
+            op = op.name
+        return Node(op, tree_from_term(term.args[1]), tree_from_term(term.args[2]))
+    raise ReproError(f"not a tree term: {term!r}")
+
+
+def iter_nodes(tree: Tree) -> Iterator[Tree]:
+    stack = [tree]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, Node):
+            stack.append(node.right)
+            stack.append(node.left)
+
+
+def tree_size(tree: Tree) -> int:
+    """Total node count (leaves + internal)."""
+    return sum(1 for _ in iter_nodes(tree))
+
+
+def leaf_count(tree: Tree) -> int:
+    return sum(1 for n in iter_nodes(tree) if isinstance(n, Leaf))
+
+
+def tree_depth(tree: Tree) -> int:
+    if isinstance(tree, Leaf):
+        return 0
+    return 1 + max(tree_depth(tree.left), tree_depth(tree.right))
+
+
+def sequential_reduce(tree: Tree, fn: Callable[[Any, Any, Any], Any]) -> Any:
+    """Reference fold: ``fn(op, left_value, right_value)`` bottom-up.
+
+    Iterative (explicit stack) so arbitrarily deep trees don't hit the
+    Python recursion limit.
+    """
+    # Post-order with an explicit stack of (node, visited) frames.
+    out: list[Any] = []
+    stack: list[tuple[Tree, bool]] = [(tree, False)]
+    while stack:
+        node, visited = stack.pop()
+        if isinstance(node, Leaf):
+            out.append(node.value)
+        elif visited:
+            rv = out.pop()
+            lv = out.pop()
+            out.append(fn(node.op, lv, rv))
+        else:
+            stack.append((node, True))
+            stack.append((node.right, False))
+            stack.append((node.left, False))
+    (result,) = out
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Generators
+# ---------------------------------------------------------------------------
+
+def balanced_tree(depth: int, op_fn: Callable[[random.Random], Any],
+                  leaf_fn: Callable[[random.Random], Any],
+                  rng: random.Random | None = None) -> Tree:
+    """A complete binary tree of the given depth."""
+    rng = rng or random.Random(0)
+
+    def build(d: int) -> Tree:
+        if d == 0:
+            return Leaf(leaf_fn(rng))
+        return Node(op_fn(rng), build(d - 1), build(d - 1))
+
+    return build(depth)
+
+
+def random_tree(leaves: int, op_fn: Callable[[random.Random], Any],
+                leaf_fn: Callable[[random.Random], Any],
+                rng: random.Random | None = None) -> Tree:
+    """A random binary tree with exactly ``leaves`` leaves (random splits,
+    like a random phylogeny)."""
+    if leaves < 1:
+        raise ReproError("a tree needs at least one leaf")
+    rng = rng or random.Random(0)
+
+    def build(n: int) -> Tree:
+        if n == 1:
+            return Leaf(leaf_fn(rng))
+        k = rng.randint(1, n - 1)
+        return Node(op_fn(rng), build(k), build(n - k))
+
+    return build(leaves)
+
+
+def skewed_tree(leaves: int, op_fn: Callable[[random.Random], Any],
+                leaf_fn: Callable[[random.Random], Any],
+                rng: random.Random | None = None) -> Tree:
+    """A maximally unbalanced (left-spine) tree — the worst case for static
+    partitioning."""
+    rng = rng or random.Random(0)
+    tree: Tree = Leaf(leaf_fn(rng))
+    for _ in range(leaves - 1):
+        tree = Node(op_fn(rng), tree, Leaf(leaf_fn(rng)))
+    return tree
+
+
+# ---------------------------------------------------------------------------
+# Tree-Reduce-2 preprocessing
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TableEntry:
+    """One row of the flat node table (Python view, mostly for tests)."""
+
+    kind: str  # 'leaf' | 'op'
+    payload: Any  # leaf data or operator
+    parent: int  # parent identifier, -1 at the root
+    parent_label: int  # processor evaluating the parent, 0 at the root
+    side: str  # 'left' | 'right' | 'none'
+    label: int  # processor evaluating THIS node (leaves: where its value starts)
+
+
+def label_table(tree: Tree, processors: int,
+                rng: random.Random | None = None) -> tuple[list[TableEntry], Term]:
+    """Assign identifiers and processor labels (paper §3.5) and build the
+    table term for Tree-Reduce-2.
+
+    Labeling rules: leaves get random processor labels, with sibling leaf
+    pairs sharing one label; an internal node is labeled with its left
+    child's label.  Each entry carries its parent's identifier and label so
+    the value message can be routed.
+
+    Returns ``(python_entries, table_term)``.  Raises for a single-leaf
+    tree (there is nothing to evaluate; callers handle it directly).
+    """
+    if isinstance(tree, Leaf):
+        raise ReproError("label_table: single-leaf tree has no evaluations")
+    if processors < 1:
+        raise ReproError("label_table: need at least one processor")
+    rng = rng or random.Random(0)
+
+    ids: dict[int, int] = {}
+    order: list[Tree] = []
+
+    def number(node: Tree) -> None:
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            ids[id(n)] = len(order) + 1
+            order.append(n)
+            if isinstance(n, Node):
+                stack.append(n.right)
+                stack.append(n.left)
+
+    number(tree)
+
+    labels: dict[int, int] = {}
+
+    def label_of(node: Tree) -> int:
+        """Compute (and cache) the node's label, assigning leaf labels with
+        the sibling-sharing rule."""
+        key = id(node)
+        if key in labels:
+            return labels[key]
+        assert isinstance(node, Node), "leaf labels are assigned by their parent"
+        left, right = node.left, node.right
+        if isinstance(left, Leaf):
+            left_label = rng.randint(1, processors)
+            labels[id(left)] = left_label
+        else:
+            left_label = label_of(left)
+        if isinstance(right, Leaf):
+            # Sibling leaves share a label; a leaf with an internal sibling
+            # joins it (keeping the parent's evaluation fully local).
+            labels[id(right)] = left_label
+        else:
+            label_of(right)
+        labels[key] = left_label
+        return left_label
+
+    # Iterative driver to avoid recursion limits on deep trees.
+    post: list[Node] = [n for n in order if isinstance(n, Node)]
+    for node in reversed(post):  # children before parents in `order` reversal
+        label_of(node)
+
+    parents: dict[int, tuple[int, int, str]] = {ids[id(tree)]: (-1, 0, "none")}
+    for node in order:
+        if isinstance(node, Node):
+            nid = ids[id(node)]
+            nlabel = labels[id(node)]
+            parents[ids[id(node.left)]] = (nid, nlabel, "left")
+            parents[ids[id(node.right)]] = (nid, nlabel, "right")
+
+    entries: list[TableEntry] = []
+    for node in order:
+        nid = ids[id(node)]
+        parent, parent_label, side = parents[nid]
+        if isinstance(node, Leaf):
+            entries.append(
+                TableEntry("leaf", node.value, parent, parent_label, side,
+                           labels[id(node)])
+            )
+        else:
+            entries.append(
+                TableEntry("op", node.op, parent, parent_label, side,
+                           labels[id(node)])
+            )
+    slots: list[Term] = []
+    for entry in entries:
+        payload = entry.payload
+        if isinstance(payload, str):
+            payload_term: Term = Atom(payload)
+        else:
+            payload_term = from_python(payload)
+        side_atom = Atom(entry.side)
+        functor = "leaf" if entry.kind == "leaf" else "op"
+        slots.append(
+            Struct(functor, (payload_term, entry.parent, entry.parent_label, side_atom))
+        )
+    return entries, Tup(slots)

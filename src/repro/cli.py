@@ -1,0 +1,172 @@
+"""Command-line interface: run Strand programs on the virtual multicomputer.
+
+::
+
+    python -m repro run program.str "go(4, Value)" -P 4 --topology ring
+    python -m repro motifs
+    python -m repro demo
+
+``run`` executes a goal conjunction against a Strand source file; variable
+bindings, machine metrics, and (with ``--gantt``) an ASCII schedule are
+printed.  ``motifs`` lists the registered motif library — "archives of
+expertise that can be consulted" (§1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import __version__
+from repro.core.registry import default_registry
+from repro.errors import ReproError, StrandError
+from repro.machine import Machine
+from repro.machine.gantt import render_gantt
+from repro.strand import format_term, parse_program, run_query
+from repro.strand.terms import Var, deref
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Algorithmic-motif reproduction: Strand programs on a "
+                    "virtual multicomputer.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run a goal against a Strand source file")
+    run_p.add_argument("source", type=Path, help="Strand source file")
+    run_p.add_argument("query", help='goal conjunction, e.g. "go(4, Value)"')
+    run_p.add_argument("-P", "--processors", type=int, default=1)
+    run_p.add_argument("--topology", default=None,
+                       choices=[None, "full", "ring", "mesh", "torus", "hypercube", "tree"],
+                       help="interconnect (default: fully connected)")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--max-reductions", type=int, default=5_000_000)
+    run_p.add_argument("--service", action="append", default=[],
+                       metavar="NAME/ARITY",
+                       help="declare a perpetual service procedure "
+                            "(repeatable), e.g. --service server/2")
+    run_p.add_argument("--gantt", action="store_true",
+                       help="print an ASCII schedule of the run")
+    run_p.add_argument("--quiet", action="store_true",
+                       help="print only variable bindings")
+
+    lint_p = sub.add_parser("lint", help="static checks on a Strand source file")
+    lint_p.add_argument("source", type=Path)
+    lint_p.add_argument("--foreign", action="append", default=[],
+                        metavar="NAME/ARITY",
+                        help="declare a foreign procedure (repeatable)")
+    lint_p.add_argument("--entry", action="append", default=[],
+                        metavar="NAME/ARITY",
+                        help="declare an entry point for reachability checks")
+    lint_p.add_argument("--allow-pragmas", action="store_true",
+                        help="suppress pragma-without-motif warnings")
+
+    sub.add_parser("motifs", help="list the registered motif library")
+    sub.add_parser("demo", help="run the paper's §3.1 example four ways")
+    return parser
+
+
+def _parse_service(text: str) -> tuple[str, int]:
+    try:
+        name, arity = text.rsplit("/", 1)
+        return (name, int(arity))
+    except ValueError:
+        raise SystemExit(f"bad --service {text!r}; expected NAME/ARITY")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        source = args.source.read_text()
+    except OSError as e:
+        print(f"error: cannot read {args.source}: {e}", file=sys.stderr)
+        return 2
+    try:
+        program = parse_program(source, name=args.source.stem)
+        machine = Machine(args.processors, topology=args.topology,
+                          seed=args.seed, trace=args.gantt)
+        result = run_query(
+            program,
+            args.query,
+            machine=machine,
+            services=[_parse_service(s) for s in args.service],
+            max_reductions=args.max_reductions,
+        )
+    except (ReproError, StrandError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    for line in result.output:
+        print(line)
+    for name, var in sorted(result.bindings.items()):
+        value = deref(var)
+        rendered = format_term(value) if not isinstance(value, Var) else "_"
+        print(f"{name} = {rendered}")
+    if not args.quiet:
+        print(result.metrics.summary())
+    if args.gantt:
+        print()
+        print(render_gantt(machine.trace, machine.size, result.metrics.makespan))
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.strand.lint import lint_program
+
+    try:
+        source = args.source.read_text()
+    except OSError as e:
+        print(f"error: cannot read {args.source}: {e}", file=sys.stderr)
+        return 2
+    try:
+        program = parse_program(source, name=args.source.stem)
+    except StrandError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    warnings = lint_program(
+        program,
+        foreign=[_parse_service(s) for s in args.foreign],
+        entries=[_parse_service(s) for s in args.entry],
+        allow_pragmas=args.allow_pragmas,
+    )
+    for warning in warnings:
+        print(warning)
+    print(f"{len(warnings)} warning(s)")
+    return 0 if not warnings else 3
+
+
+def _cmd_motifs(_args: argparse.Namespace) -> int:
+    registry = default_registry()
+    print("registered motifs:")
+    for name in registry.names():
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from repro.apps.arithmetic import eval_arith_node, paper_example_tree
+    from repro.core.api import reduce_tree
+
+    for strategy in ("sequential", "static", "tr1", "tr2"):
+        result = reduce_tree(paper_example_tree(), eval_arith_node,
+                             processors=4, strategy=strategy, seed=42)
+        print(f"{strategy:>10s}: value={result.value}  "
+              f"{result.metrics.summary()}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
+    if args.command == "motifs":
+        return _cmd_motifs(args)
+    if args.command == "demo":
+        return _cmd_demo(args)
+    raise SystemExit(2)  # pragma: no cover

@@ -1,0 +1,188 @@
+"""High-level API: apply motif stacks and run them on a virtual machine.
+
+This is the layer a downstream user touches first::
+
+    from repro import reduce_tree
+    from repro.apps.arithmetic import paper_example_tree, eval_arith_node
+
+    result = reduce_tree(paper_example_tree(), eval_arith_node,
+                         processors=4, strategy="tr1")
+    assert result.value == 24
+
+``reduce_tree`` accepts the node evaluator either as Strand source text
+(rules for ``eval/4``) or as a Python callable ``fn(op, lv, rv) -> value``
+registered as the foreign procedure ``eval/4`` — the paper's multilingual
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.core.motif import AppliedMotif, Motif
+from repro.errors import ReproError
+from repro.machine.metrics import MachineMetrics
+from repro.machine.simulator import Machine
+from repro.motifs.tree_reduce1 import (
+    sequential_tree_motif,
+    static_tree_motif,
+    tree_reduce_1,
+)
+from repro.motifs.tree_reduce2 import tree_reduce_2
+from repro.apps import trees
+from repro.strand.engine import StrandEngine
+from repro.strand.foreign import ForeignRegistry, to_python
+from repro.strand.parser import parse_program
+from repro.strand.program import Program
+from repro.strand.terms import Struct, Term, Var, deref
+
+__all__ = ["RunResult", "run_applied", "reduce_tree", "TREE_STRATEGIES", "as_application"]
+
+#: Tree-reduction strategies offered by :func:`reduce_tree`.
+TREE_STRATEGIES = ("tr1", "tr2", "static", "sequential")
+
+
+@dataclass
+class RunResult:
+    """Outcome of a motif-stack run."""
+
+    value: Any
+    metrics: MachineMetrics
+    bindings: dict[str, Term]
+    engine: StrandEngine
+    applied: AppliedMotif
+
+
+def as_application(evaluator: str | Callable | Program, name: str = "application",
+                   cost: float | Callable[..., float] = 1.0
+                   ) -> tuple[Program, Callable[[ForeignRegistry], None] | None]:
+    """Normalize a user-supplied node evaluator into ``(program, foreign_setup)``.
+
+    * Strand source / :class:`Program` → the application program itself;
+    * Python callable → an empty application plus a hook registering it as
+      the foreign procedure ``eval/4`` with the given cost model.
+    """
+    if isinstance(evaluator, Program):
+        return evaluator.copy(name=name), None
+    if isinstance(evaluator, str):
+        return parse_program(evaluator, name=name), None
+    if callable(evaluator):
+        fn = evaluator
+
+        def setup(registry: ForeignRegistry) -> None:
+            registry.register("eval", 4, fn, cost=cost)
+
+        return Program(name=name), setup
+    raise ReproError(f"cannot use {evaluator!r} as a node evaluator")
+
+
+def run_applied(
+    applied: AppliedMotif,
+    goals: Iterable[Term] | Term,
+    machine: Machine | None = None,
+    *,
+    watched: Iterable[tuple[str, int]] = (),
+    foreign: ForeignRegistry | None = None,
+    max_reductions: int = 5_000_000,
+) -> tuple[StrandEngine, MachineMetrics]:
+    """Run already-constructed goal terms against an applied motif stack."""
+    engine = StrandEngine(
+        applied.program,
+        machine=machine,
+        foreign=applied.make_foreign(foreign),
+        watched=watched,
+        library=applied.library_indicators,
+        services=applied.services,
+        max_reductions=max_reductions,
+    )
+    if isinstance(goals, (Struct,)):
+        goals = [goals]
+    for goal in goals:
+        engine.spawn(goal, proc=1, ready=0.0)
+    metrics = engine.run()
+    return engine, metrics
+
+
+def reduce_tree(
+    tree: trees.Tree,
+    evaluator: str | Callable | Program,
+    *,
+    processors: int = 4,
+    strategy: str = "tr1",
+    machine: Machine | None = None,
+    seed: int = 0,
+    topology: str | None = None,
+    server_library: str = "ports",
+    termination: bool = True,
+    eval_cost: float | Callable[..., float] = 1.0,
+    watch_eval: bool = True,
+    max_reductions: int = 5_000_000,
+) -> RunResult:
+    """Reduce a binary tree with a chosen motif strategy.
+
+    Parameters mirror the paper's design space: ``strategy`` is one of
+
+    * ``"tr1"``        — Tree-Reduce-1 (Server ∘ Rand ∘ Tree1, §3.4)
+    * ``"tr2"``        — Tree-Reduce-2 (Server ∘ TreeReduce, §3.5)
+    * ``"static"``     — static partition (§3.1)
+    * ``"sequential"`` — single-processor fold (baseline)
+    """
+    if strategy not in TREE_STRATEGIES:
+        raise ReproError(f"unknown strategy {strategy!r}; choose from {TREE_STRATEGIES}")
+    if machine is None:
+        machine = Machine(
+            1 if strategy == "sequential" else processors,
+            topology=topology,
+            seed=seed,
+        )
+    application, setup = as_application(evaluator, cost=eval_cost)
+
+    # Single-leaf trees have no evaluations; answer directly but uniformly.
+    if isinstance(tree, trees.Leaf):
+        applied = AppliedMotif(program=application)
+        engine = StrandEngine(application, machine=machine)
+        return RunResult(tree.value, machine.metrics(), {}, engine, applied)
+
+    value_var = Var("Value")
+    watched = [("eval", 4)] if watch_eval else []
+
+    if strategy == "tr1":
+        motif = tree_reduce_1(server_library=server_library, termination=termination)
+        applied = motif.apply(application)
+        if termination:
+            inner = Struct("boot", (trees.tree_term(tree), value_var, Var("Done")))
+        else:
+            inner = Struct("reduce", (trees.tree_term(tree), value_var))
+        goal: Term = Struct("create", (machine.size, inner))
+    elif strategy == "tr2":
+        motif = tree_reduce_2(server_library=server_library)
+        applied = motif.apply(application)
+        import random as _random
+
+        _entries, table = trees.label_table(
+            tree, machine.size, _random.Random(seed + 0x5EED)
+        )
+        goal = Struct("create", (machine.size, Struct("init", (table, value_var))))
+    elif strategy == "static":
+        motif = static_tree_motif()
+        applied = motif.apply(application)
+        goal = Struct("sreduce", (trees.tree_term(tree), value_var, 1, machine.size))
+    else:  # sequential
+        motif = sequential_tree_motif()
+        applied = motif.apply(application)
+        goal = Struct("reduce_seq", (trees.tree_term(tree), value_var))
+
+    if setup is not None:
+        applied.foreign_setup.append(setup)
+        applied.user_names.add("eval")
+
+    engine, metrics = run_applied(
+        applied, goal, machine, watched=watched, max_reductions=max_reductions
+    )
+    value = deref(value_var)
+    if type(value) is Var:
+        raise ReproError(
+            f"tree reduction under {strategy!r} finished without binding the result"
+        )
+    return RunResult(to_python(value), metrics, {"Value": value_var}, engine, applied)

@@ -1,0 +1,180 @@
+"""The motif abstraction — the paper's primary contribution.
+
+A motif is a pair ``M = (T, L)`` of a source-to-source transformation and a
+library program; applying it to an application ``A`` yields the program
+
+    M(A) = T(A) ∪ L .
+
+Because the output is itself a program, motifs compose:
+
+    (M₂ ∘ M₁)(A) = M₂(M₁(A)) = T₂( T₁(A) ∪ L₁ ) ∪ L₂ .
+
+Beyond the pair, a :class:`Motif` carries the *runtime metadata* an engine
+needs to execute its output faithfully: which procedures are perpetual
+services (so quiescence detection can close their ports), which foreign
+procedures its library expects, and which query shape starts a computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import MotifError
+from repro.strand.foreign import ForeignRegistry
+from repro.strand.parser import parse_program
+from repro.strand.program import Program
+from repro.transform.transformation import Identity, Transformation
+
+__all__ = ["Motif", "ComposedMotif", "AppliedMotif", "library_from_source"]
+
+
+def library_from_source(source: str, name: str) -> Program:
+    """Parse a library program from Strand source text."""
+    return parse_program(source, name=name)
+
+
+@dataclass
+class AppliedMotif:
+    """The result of applying a motif (stack) to an application.
+
+    Carries everything needed to run the program: the program itself, the
+    service indicators for quiescence handling, the foreign setup hooks,
+    and the *library indicator set* — every procedure the user did not
+    write — used for the overhead split of experiment E8.
+    """
+
+    program: Program
+    services: set[tuple[str, int]] = field(default_factory=set)
+    foreign_setup: list[Callable[[ForeignRegistry], None]] = field(default_factory=list)
+    user_names: set[str] = field(default_factory=set)
+
+    @property
+    def library_indicators(self) -> set[tuple[str, int]]:
+        return {
+            ind for ind in self.program.indicators if ind[0] not in self.user_names
+        }
+
+    def make_foreign(self, base: ForeignRegistry | None = None) -> ForeignRegistry:
+        registry = base.copy() if base is not None else ForeignRegistry()
+        for setup in self.foreign_setup:
+            setup(registry)
+        return registry
+
+
+class Motif:
+    """A named ``(transformation, library)`` pair plus runtime metadata.
+
+    Parameters
+    ----------
+    name:
+        Human-readable motif name (``"server"``, ``"tree-reduce-1"``, …).
+    transformation:
+        The ``T`` of the pair; defaults to the identity (a "library-only"
+        motif like the paper's ``Tree1``).
+    library:
+        The ``L`` of the pair: a :class:`Program` or Strand source text;
+        defaults to the empty library (a "transformation-only" motif like
+        the paper's ``Rand``).
+    services:
+        Indicators of perpetual service processes introduced by this motif.
+    foreign_setup:
+        Hook called with the foreign registry before running, to register
+        Python procedures the library depends on.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        transformation: Transformation | None = None,
+        library: Program | str | None = None,
+        *,
+        services: Iterable[tuple[str, int]] = (),
+        foreign_setup: Callable[[ForeignRegistry], None] | None = None,
+    ):
+        self.name = name
+        self.transformation = transformation or Identity()
+        if library is None:
+            library = Program(name=f"{name}-library")
+        elif isinstance(library, str):
+            library = library_from_source(library, name=f"{name}-library")
+        self.library = library
+        self.services = set(services)
+        self.foreign_setup = foreign_setup
+
+    # -- application ---------------------------------------------------------
+    def apply(self, application: Program | AppliedMotif) -> AppliedMotif:
+        """``M(A) = T(A) ∪ L`` with metadata accumulation."""
+        if isinstance(application, Program):
+            applied = AppliedMotif(
+                program=application,
+                user_names={ind[0] for ind in application.indicators},
+            )
+        else:
+            applied = application
+        transformed = self.transformation.apply(applied.program)
+        try:
+            program = transformed.union(self.library, name=f"{self.name}({applied.program.name})")
+        except MotifError as e:
+            raise MotifError(f"applying motif {self.name!r}: {e}") from e
+        return AppliedMotif(
+            program=program,
+            services=applied.services | self.services,
+            foreign_setup=list(applied.foreign_setup)
+            + ([self.foreign_setup] if self.foreign_setup else []),
+            user_names=applied.user_names,
+        )
+
+    def __call__(self, application: Program | AppliedMotif) -> AppliedMotif:
+        return self.apply(application)
+
+    # -- composition -----------------------------------------------------
+    def compose(self, inner: "Motif") -> "ComposedMotif":
+        """``self ∘ inner`` — inner applied first (paper §2.2 ordering)."""
+        return ComposedMotif([inner, self])
+
+    def __matmul__(self, inner: "Motif") -> "ComposedMotif":
+        """``outer @ inner`` spells ``outer ∘ inner``."""
+        return self.compose(inner)
+
+    def stages(self) -> list["Motif"]:
+        return [self]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Motif {self.name}>"
+
+
+class ComposedMotif(Motif):
+    """A composition pipeline ``Mn ∘ … ∘ M₁`` (stored innermost first)."""
+
+    def __init__(self, pipeline: Sequence[Motif]):
+        flat: list[Motif] = []
+        for motif in pipeline:
+            flat.extend(motif.stages())
+        if not flat:
+            raise MotifError("cannot compose an empty motif pipeline")
+        name = " ∘ ".join(m.name for m in reversed(flat))
+        super().__init__(name=name)
+        self.pipeline = flat
+
+    def apply(self, application: Program | AppliedMotif) -> AppliedMotif:
+        applied = application
+        for motif in self.pipeline:
+            applied = motif.apply(applied)
+        return applied
+
+    def apply_staged(self, application: Program) -> list[AppliedMotif]:
+        """Every intermediate program of the composition — Figure 5's
+        "three stages" view, used by experiment E2."""
+        stages: list[AppliedMotif] = []
+        applied: Program | AppliedMotif = application
+        for motif in self.pipeline:
+            applied = motif.apply(applied)
+            stages.append(applied)
+        return stages
+
+    def compose(self, inner: "Motif") -> "ComposedMotif":
+        return ComposedMotif([*inner.stages(), *self.pipeline])
+
+    def stages(self) -> list[Motif]:
+        return list(self.pipeline)

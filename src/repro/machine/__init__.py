@@ -1,0 +1,43 @@
+"""Virtual multicomputer substrate: topologies, latency model, processors,
+metrics, and the :class:`~repro.machine.simulator.Machine` the Strand engine
+runs on."""
+
+from repro.machine.metrics import MachineMetrics, coefficient_of_variation, imbalance, jain_fairness
+from repro.machine.network import Network
+from repro.machine.processor import VirtualProcessor
+from repro.machine.simulator import Machine
+from repro.machine.topology import (
+    BinaryTreeTopology,
+    FullyConnected,
+    Hypercube,
+    Mesh2D,
+    Ring,
+    SharedMemory,
+    Torus2D,
+    Topology,
+    topology_by_name,
+)
+from repro.machine.gantt import render_gantt
+from repro.machine.trace import Trace, TraceEvent
+
+__all__ = [
+    "Machine",
+    "MachineMetrics",
+    "Network",
+    "VirtualProcessor",
+    "Topology",
+    "FullyConnected",
+    "SharedMemory",
+    "Ring",
+    "Mesh2D",
+    "Torus2D",
+    "Hypercube",
+    "BinaryTreeTopology",
+    "topology_by_name",
+    "Trace",
+    "render_gantt",
+    "TraceEvent",
+    "imbalance",
+    "jain_fairness",
+    "coefficient_of_variation",
+]

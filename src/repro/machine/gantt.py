@@ -1,0 +1,51 @@
+"""ASCII Gantt rendering of machine traces.
+
+Turns a traced run into a per-processor timeline — the quickest way to
+*see* a schedule: load imbalance shows up as ragged rows, communication
+phases as gaps.  Used by the CLI's ``--gantt`` flag and by examples.
+"""
+
+from __future__ import annotations
+
+from repro.machine.trace import Trace
+
+__all__ = ["render_gantt"]
+
+_BUSY = "█"
+_SEND = "↑"
+_IDLE = "·"
+
+
+def render_gantt(trace: Trace, processors: int, makespan: float,
+                 width: int = 72) -> str:
+    """Render ``reduce``/``send`` events as per-processor timelines.
+
+    Each column is a bucket of ``makespan / width`` time units; a bucket
+    with any reduction shows solid, a bucket with only sends shows an
+    arrow, an empty bucket shows a dot.
+    """
+    if not trace.enabled:
+        return "(tracing was disabled; run with trace=True to see a Gantt chart)"
+    if makespan <= 0:
+        makespan = 1.0
+    width = max(8, width)
+    scale = width / makespan
+    rows = [[0] * width for _ in range(processors)]  # 0 idle, 1 send, 2 busy
+    for event in trace:
+        if event.kind not in ("reduce", "send"):
+            continue
+        if not 1 <= event.proc <= processors:
+            continue
+        column = min(width - 1, int(event.time * scale))
+        level = 2 if event.kind == "reduce" else 1
+        if level > rows[event.proc - 1][column]:
+            rows[event.proc - 1][column] = level
+    lines = [
+        f"t=0 {'─' * (width - 8)} t={makespan:.0f}".ljust(width + 6)
+    ]
+    glyphs = {0: _IDLE, 1: _SEND, 2: _BUSY}
+    for p, row in enumerate(rows, start=1):
+        body = "".join(glyphs[level] for level in row)
+        lines.append(f"p{p:<3d} {body}")
+    lines.append(f"     {_BUSY}=reduction  {_SEND}=message only  {_IDLE}=idle")
+    return "\n".join(lines)

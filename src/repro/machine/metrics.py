@@ -1,0 +1,154 @@
+"""Aggregated machine metrics — the measurement surface for every benchmark.
+
+A :class:`MachineMetrics` snapshot is computed from processor state after a
+run.  It deliberately exposes exactly the quantities the paper's claims are
+phrased in: virtual makespan (for speedup), per-processor busy time (load
+balance, E3), message and hop counts (E5), and watched-task high-water marks
+(memory behaviour, E4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.machine.processor import VirtualProcessor
+
+__all__ = ["MachineMetrics", "imbalance", "jain_fairness", "coefficient_of_variation"]
+
+
+def imbalance(loads: list[float]) -> float:
+    """``max/mean`` load ratio; 1.0 is perfect balance.  Empty or all-idle
+    loads give 1.0 (a degenerate but balanced machine)."""
+    if not loads:
+        return 1.0
+    mean = sum(loads) / len(loads)
+    if mean == 0:
+        return 1.0
+    return max(loads) / mean
+
+
+def jain_fairness(loads: list[float]) -> float:
+    """Jain's fairness index in ``(0, 1]``; 1.0 is perfect balance."""
+    if not loads or all(x == 0 for x in loads):
+        return 1.0
+    num = sum(loads) ** 2
+    den = len(loads) * sum(x * x for x in loads)
+    return num / den
+
+
+def coefficient_of_variation(loads: list[float]) -> float:
+    """Std-dev over mean of the loads; 0.0 is perfect balance."""
+    if not loads:
+        return 0.0
+    mean = sum(loads) / len(loads)
+    if mean == 0:
+        return 0.0
+    var = sum((x - mean) ** 2 for x in loads) / len(loads)
+    return math.sqrt(var) / mean
+
+
+@dataclass
+class MachineMetrics:
+    """Snapshot of one finished run."""
+
+    processors: int
+    makespan: float
+    busy: list[float]
+    reductions: int
+    suspensions: int
+    wakeups: int
+    sends: int
+    remote_bindings: int
+    hops: int
+    peak_live_tasks: list[int]
+    peak_live_values: list[int]
+    tasks_started: int
+    # Optional cost split recorded by the engine: virtual time charged to
+    # procedures in the "library" set vs everything else (experiment E8).
+    library_cost: float = 0.0
+    user_cost: float = 0.0
+
+    @classmethod
+    def from_processors(
+        cls,
+        procs: list[VirtualProcessor],
+        library_cost: float = 0.0,
+        user_cost: float = 0.0,
+    ) -> "MachineMetrics":
+        return cls(
+            processors=len(procs),
+            makespan=max((p.clock for p in procs), default=0.0),
+            busy=[p.busy for p in procs],
+            reductions=sum(p.reductions for p in procs),
+            suspensions=sum(p.suspensions for p in procs),
+            wakeups=sum(p.wakeups for p in procs),
+            sends=sum(p.sends for p in procs),
+            remote_bindings=sum(p.remote_bindings for p in procs),
+            hops=sum(p.hops for p in procs),
+            peak_live_tasks=[p.peak_live_tasks for p in procs],
+            peak_live_values=[p.peak_live_values for p in procs],
+            tasks_started=sum(p.tasks_started for p in procs),
+            library_cost=library_cost,
+            user_cost=user_cost,
+        )
+
+    # -- derived figures -----------------------------------------------------
+    @property
+    def total_busy(self) -> float:
+        return sum(self.busy)
+
+    @property
+    def imbalance(self) -> float:
+        return imbalance(self.busy)
+
+    @property
+    def fairness(self) -> float:
+        return jain_fairness(self.busy)
+
+    @property
+    def cv(self) -> float:
+        return coefficient_of_variation(self.busy)
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of total processor-time spent busy (``∈ (0, 1]``)."""
+        if self.makespan == 0:
+            return 1.0
+        return self.total_busy / (self.processors * self.makespan)
+
+    @property
+    def messages(self) -> int:
+        """All cross-processor traffic: explicit sends + remote bindings."""
+        return self.sends + self.remote_bindings
+
+    @property
+    def max_peak_live_tasks(self) -> int:
+        return max(self.peak_live_tasks, default=0)
+
+    @property
+    def max_peak_live_values(self) -> int:
+        return max(self.peak_live_values, default=0)
+
+    @property
+    def library_fraction(self) -> float:
+        """Fraction of charged cost spent in motif-library procedures."""
+        total = self.library_cost + self.user_cost
+        if total == 0:
+            return 0.0
+        return self.library_cost / total
+
+    def speedup_against(self, sequential_makespan: float) -> float:
+        """Virtual speedup relative to a sequential (P=1) run's makespan."""
+        if self.makespan == 0:
+            return 1.0
+        return sequential_makespan / self.makespan
+
+    def summary(self) -> str:
+        return (
+            f"P={self.processors} makespan={self.makespan:.1f} "
+            f"busy={self.total_busy:.1f} eff={self.efficiency:.3f} "
+            f"imb={self.imbalance:.3f} red={self.reductions} "
+            f"msgs={self.messages} (sends={self.sends}, remote_binds={self.remote_bindings}) "
+            f"peak_tasks={self.max_peak_live_tasks}"
+        )

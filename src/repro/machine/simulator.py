@@ -1,0 +1,122 @@
+"""The virtual multicomputer: processors + network + clocks.
+
+The paper's experiments ran on 1990 MIMD machines; we substitute a
+deterministic discrete-event model (see DESIGN.md §2).  The
+:class:`Machine` owns processor state and the latency model; the Strand
+engine (``repro.strand.engine``) drives it, asking for delivery delays and
+charging reduction costs.
+
+Determinism: all randomness (``rand_num``) comes from a seeded
+``random.Random`` owned by the machine, and the engine's event heap breaks
+time ties with a monotone sequence number.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import MachineError
+from repro.machine.metrics import MachineMetrics
+from repro.machine.network import Network
+from repro.machine.processor import VirtualProcessor
+from repro.machine.topology import Topology, topology_by_name
+from repro.machine.trace import Trace
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """``P`` virtual processors joined by a :class:`Network`.
+
+    Parameters
+    ----------
+    processors:
+        Number of virtual processors (1-based numbering, as in the paper's
+        ``rand_num(N, O)`` / ``distribute`` convention).
+    topology:
+        A :class:`Topology`, a name (``'full'``, ``'ring'``, ``'mesh'``,
+        ``'hypercube'``, ``'tree'``), or ``None`` for fully connected.
+    seed:
+        Seed for the machine RNG (drives ``rand_num`` and nothing else).
+    trace:
+        Enable event tracing (see :class:`Trace`).
+    """
+
+    def __init__(
+        self,
+        processors: int = 1,
+        topology: Topology | str | None = None,
+        seed: int = 0,
+        startup_latency: float = 2.0,
+        per_hop_latency: float = 1.0,
+        trace: bool = False,
+    ):
+        if processors < 1:
+            raise MachineError(f"need at least one processor, got {processors}")
+        if topology is None:
+            topo = topology_by_name("full", processors)
+        elif isinstance(topology, str):
+            topo = topology_by_name(topology, processors)
+        else:
+            topo = topology
+        if topo.size != processors:
+            raise MachineError(
+                f"topology size {topo.size} != processor count {processors}"
+            )
+        self.network = Network(topo, startup=startup_latency, per_hop=per_hop_latency)
+        self.procs: list[VirtualProcessor] = [
+            VirtualProcessor(number=i + 1) for i in range(processors)
+        ]
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self.trace = Trace(enabled=trace)
+        # Cost split for experiment E8; the engine fills these in.
+        self.library_cost = 0.0
+        self.user_cost = 0.0
+
+    # -- addressing ---------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.procs)
+
+    def proc(self, number: int) -> VirtualProcessor:
+        """Processor by 1-based number."""
+        if not 1 <= number <= len(self.procs):
+            raise MachineError(f"processor {number} out of range 1..{len(self.procs)}")
+        return self.procs[number - 1]
+
+    def normalize(self, number: int) -> int:
+        """Map any integer onto a valid processor number (1-based modulo),
+        the conventional wrap-around used when placing ``@ J`` processes."""
+        return (number - 1) % len(self.procs) + 1
+
+    # -- communication ------------------------------------------------------
+    def latency(self, src: int, dst: int) -> float:
+        return self.network.latency(src, dst)
+
+    def hops(self, src: int, dst: int) -> int:
+        return self.network.topology.hops(src, dst)
+
+    def rand_proc(self) -> int:
+        """A uniformly random processor number in ``1..P`` (the paper's
+        ``rand_num(N, R)``)."""
+        return self.rng.randint(1, len(self.procs))
+
+    # -- results ------------------------------------------------------------
+    def metrics(self) -> MachineMetrics:
+        return MachineMetrics.from_processors(
+            self.procs, library_cost=self.library_cost, user_cost=self.user_cost
+        )
+
+    def reset(self) -> None:
+        """Clear all processor state and counters; keep topology and seed."""
+        self.procs = [VirtualProcessor(number=i + 1) for i in range(len(self.procs))]
+        self.rng = random.Random(self.seed)
+        self.trace = Trace(enabled=self.trace.enabled)
+        self.library_cost = 0.0
+        self.user_cost = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Machine(P={self.size}, topology={type(self.network.topology).__name__})"
+        )

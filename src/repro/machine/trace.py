@@ -1,0 +1,71 @@
+"""Structured event traces for the virtual machine.
+
+Tracing is off by default (it costs memory on big runs); benchmarks and
+tests that need schedules turn it on.  Events are plain tuples so traces
+stay cheap and are trivially comparable in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["TraceEvent", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One machine event.
+
+    ``kind`` is one of ``reduce``, ``spawn``, ``suspend``, ``wake``,
+    ``send``, ``bind``, ``fail``; ``time`` is the virtual time at which it
+    happened on processor ``proc``; ``detail`` is a short human-readable
+    payload (goal indicator, message summary, …).
+    """
+
+    time: float
+    proc: int
+    kind: str
+    detail: str
+
+
+class Trace:
+    """An append-only event log with simple query helpers."""
+
+    def __init__(self, enabled: bool = False, limit: int | None = 1_000_000):
+        self.enabled = enabled
+        self.limit = limit
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+
+    def record(self, time: float, proc: int, kind: str, detail: str) -> None:
+        if not self.enabled:
+            return
+        if self.limit is not None and len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(time, proc, kind, detail))
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def on_processor(self, proc: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.proc == proc]
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def format(self, max_events: int | None = None) -> str:
+        """Human-readable rendering, time-ordered."""
+        events = sorted(self.events, key=lambda e: (e.time, e.proc))
+        if max_events is not None:
+            events = events[:max_events]
+        lines = [
+            f"t={e.time:10.2f}  p{e.proc:<3d} {e.kind:<8s} {e.detail}" for e in events
+        ]
+        if self.dropped:
+            lines.append(f"... ({self.dropped} events dropped)")
+        return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Bounded-buffer stream motif — flow control as a building-block motif.
+
+The paper's Figure 1 demonstrates fully synchronous communication: the
+producer sends one item and waits for its acknowledgement (a window of 1).
+This motif generalizes the idiom to a window of ``K``: a relay forwards a
+stream while never letting more than ``K`` items be outstanding
+(sent-but-unacknowledged).  The consumer acknowledges the Figure-1 way, by
+assigning each message's acknowledgement variable::
+
+    consume([msg(X, Ack) | In]) :- Ack := done, ..., consume(In).
+
+A window is the standard cure for the unbounded-producer memory blow-up —
+the stream sibling of Tree-Reduce-2's "one evaluation at a time" (§3.5):
+both trade concurrency for a hard bound on live intermediate data.
+
+The relay calls the engine's no-cost instrumentation hooks, so a run's
+``peak_live_values`` is exactly the maximum number of outstanding items —
+tests assert it never exceeds ``K``.
+"""
+
+from __future__ import annotations
+
+from repro.core.motif import Motif
+
+__all__ = ["BOUNDED_LIBRARY", "bounded_motif"]
+
+BOUNDED_LIBRARY = """
+% bounded(K, Xs, Ys): forward Xs to Ys as msg(Item, Ack) pairs, with at
+% most K unacknowledged messages outstanding.
+bounded(K, Xs, Ys) :- bb(Xs, Ys, K, []).
+
+% Credit available: send, remember the acknowledgement variable.
+bb([X | Xs], Ys, Credit, Pending) :- Credit > 0 |
+    note_value_produced,
+    Ys := [msg(X, Ack) | Ys1],
+    append_ack(Pending, Ack, Pending1),
+    Credit1 := Credit - 1,
+    bb(Xs, Ys1, Credit1, Pending1).
+% No credit: wait for the oldest acknowledgement.
+bb(Xs, Ys, 0, [Ack | Pending]) :- Ack == done |
+    note_value_consumed,
+    bb(Xs, Ys, 1, Pending).
+% Input exhausted: close the output (outstanding acks are irrelevant).
+bb([], Ys, _, _) :- Ys := [].
+
+append_ack([A | Rest], Ack, Out) :-
+    Out := [A | Rest1],
+    append_ack(Rest, Ack, Rest1).
+append_ack([], Ack, Out) :- Out := [Ack].
+
+% A standard acknowledging consumer that collects the items.
+bounded_collect([msg(X, Ack) | In], Items) :-
+    Ack := done,
+    Items := [X | Items1],
+    bounded_collect(In, Items1).
+bounded_collect([], Items) :- Items := [].
+"""
+
+
+def bounded_motif() -> Motif:
+    """Library-only bounded-buffer motif (``bounded/3`` + a collector)."""
+    return Motif(name="bounded-buffer", library=BOUNDED_LIBRARY)

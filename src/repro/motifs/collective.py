@@ -1,0 +1,125 @@
+"""Collective-communication motif: allreduce over per-processor values.
+
+Strand's home machines included hypercubes (§2.1), whose signature
+collective is **recursive doubling**: in round ``r`` every processor
+combines its value with that of the partner whose number differs in bit
+``r``; after ``log₂ P`` rounds every processor holds the full reduction.
+
+The plan is compiled to one *worker per processor*: each worker receives
+its private list of ``round(Mine, Partner, Next)`` descriptors (shared
+single-assignment variables wire the rounds together) and runs them with
+the generic ``creduce`` loop — dataflow makes each round wait for exactly
+the two values it needs, so no barrier is ever spawned.
+
+The combine operator is the user procedure ``cop(A, B, C)`` (Strand rules
+or foreign; must be associative and commutative).  ``SUM_OP`` is a
+ready-made integer-sum instance for tests and examples.
+
+Two plans are provided for experiment E15's ablation:
+
+* :func:`allreduce_goals` — recursive doubling (``P`` a power of two),
+  critical path ``O(log P)``;
+* :func:`central_reduce_goals` — the naive baseline: one fold chain on
+  processor 1 (critical path ``O(P)``) followed by a broadcast.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.motif import Motif
+from repro.errors import MotifError
+from repro.strand.foreign import from_python
+from repro.strand.terms import Cons, NIL, Struct, Term, Var
+
+__all__ = [
+    "collective_motif",
+    "allreduce_goals",
+    "central_reduce_goals",
+    "SUM_OP",
+]
+
+COLLECTIVE_LIBRARY = """
+% creduce(Rounds): run this processor's combine rounds; dataflow ties each
+% round to the availability of its two operands.
+creduce([round(A, B, N) | Rs]) :-
+    cop(A, B, N),
+    creduce(Rs).
+creduce([]).
+
+% touch(V, Done): wait until the (possibly remote) value arrives; the
+% cross-processor wakeup is the broadcast's delivery cost.
+touch(V, Done) :- known(V) | Done := done.
+"""
+
+#: A ready-made combine operator (link it, or register a foreign ``cop/3``).
+SUM_OP = "cop(A, B, C) :- C := A + B.\n"
+
+
+def collective_motif() -> Motif:
+    """Library-only collective motif (``creduce/1`` + ``touch/2``)."""
+    return Motif(name="collective", library=COLLECTIVE_LIBRARY)
+
+
+def _rounds_term(rounds: list[tuple[Term, Term, Term]]) -> Term:
+    out: Term = NIL
+    for a, b, n in reversed(rounds):
+        out = Cons(Struct("round", (a, b, n)), out)
+    return out
+
+
+def allreduce_goals(values: Sequence) -> tuple[list[Term], list[Term]]:
+    """Recursive-doubling allreduce: one worker per processor.
+
+    Returns ``(goals, result_terms)`` — ``result_terms[i]`` derefs, after
+    the run, to the reduction of all inputs (computed on processor
+    ``i+1``).  ``len(values)`` must be a power of two.
+    """
+    processors = len(values)
+    if processors < 1 or processors & (processors - 1) != 0:
+        raise MotifError(
+            f"recursive doubling needs a power-of-two processor count, "
+            f"got {processors}"
+        )
+    current: list[Term] = [from_python(v) for v in values]
+    per_proc: list[list[tuple[Term, Term, Term]]] = [[] for _ in range(processors)]
+    stride = 1
+    while stride < processors:
+        nxt = [Var(f"R{stride}_{i + 1}") for i in range(processors)]
+        for i in range(processors):
+            partner = i ^ stride
+            per_proc[i].append((current[i], current[partner], nxt[i]))
+        current = list(nxt)
+        stride <<= 1
+    goals: list[Term] = [
+        Struct("@", (Struct("creduce", (_rounds_term(rounds),)), i + 1))
+        for i, rounds in enumerate(per_proc)
+    ]
+    return goals, current
+
+
+def central_reduce_goals(values: Sequence) -> tuple[list[Term], Term, list[Var]]:
+    """Naive baseline: one fold chain on processor 1, then every processor
+    touches the result (the broadcast).
+
+    Returns ``(goals, total_term, done_vars)``.
+    """
+    processors = len(values)
+    if processors < 1:
+        raise MotifError("central reduce needs at least one value")
+    terms = [from_python(v) for v in values]
+    rounds: list[tuple[Term, Term, Term]] = []
+    acc: Term = terms[0]
+    for i in range(1, processors):
+        nxt = Var(f"Acc{i}")
+        rounds.append((acc, terms[i], nxt))
+        acc = nxt
+    goals: list[Term] = []
+    if rounds:
+        goals.append(Struct("@", (Struct("creduce", (_rounds_term(rounds),)), 1)))
+    done_vars: list[Var] = []
+    for i in range(processors):
+        done = Var(f"Done{i + 1}")
+        done_vars.append(done)
+        goals.append(Struct("@", (Struct("touch", (acc, done)), i + 1)))
+    return goals, acc, done_vars

@@ -1,0 +1,40 @@
+"""Registration of the §4 future-work motifs with the default registry."""
+
+from __future__ import annotations
+
+from repro.core.registry import MotifRegistry
+from repro.motifs.bnb import bnb_motif, bnb_stack
+from repro.motifs.bounded import bounded_motif
+from repro.motifs.collective import collective_motif
+from repro.motifs.dnc import dnc_motif, dnc_stack
+from repro.motifs.graph import graph_motif
+from repro.motifs.farm import farm_motif, farm_stack
+from repro.motifs.grid import grid_motif
+from repro.motifs.monitor import monitor_motif
+from repro.motifs.pipeline import pipeline_motif
+from repro.motifs.scheduler import scheduled_application, scheduler_motif
+from repro.motifs.search import search_motif, search_stack
+from repro.motifs.sort import sort_motif, sort_stack
+
+__all__ = ["register_all"]
+
+
+def register_all(registry: MotifRegistry) -> None:
+    registry.register("scheduler", scheduler_motif)
+    registry.register("scheduled", scheduled_application)
+    registry.register("farm", farm_motif)
+    registry.register("farm-stack", farm_stack)
+    registry.register("pipeline", pipeline_motif)
+    registry.register("dnc", dnc_motif)
+    registry.register("dnc-stack", dnc_stack)
+    registry.register("search", search_motif)
+    registry.register("search-stack", search_stack)
+    registry.register("sort", sort_motif)
+    registry.register("sort-stack", sort_stack)
+    registry.register("grid", grid_motif)
+    registry.register("graph-sssp", graph_motif)
+    registry.register("bounded-buffer", bounded_motif)
+    registry.register("monitor", monitor_motif)
+    registry.register("collective", collective_motif)
+    registry.register("bnb", bnb_motif)
+    registry.register("bnb-stack", bnb_stack)

@@ -1,0 +1,138 @@
+"""Graph-theory motif — §4 future work ("various graph theory problems").
+
+Single-source shortest paths by **asynchronous chaotic relaxation** over a
+vertex-partitioned graph: each worker owns a slice of the adjacency
+structure and a table of tentative distances; ``visit(Node, D)`` messages
+relax distances and propagate ``D+1`` to the node's neighbours (owner =
+``Node mod P + 1``).  No global synchronization exists — the computation
+is finished exactly when the message system is quiet, which the engine's
+quiescence detection turns into end-of-stream on every worker's port, at
+which point each worker publishes its local distance table.
+
+This is the §1 DIME shape again (system owns the distributed structure and
+the communication; the user's "code per node" here is the relaxation
+rule), built from ports and streams with no server-motif dependency — a
+demonstration that motifs can be authored directly against the substrate.
+
+Unweighted edges (BFS distances); the relaxation loop is exactly
+Bellman–Ford's, so the result equals the true shortest path length at
+quiescence regardless of message ordering.
+"""
+
+from __future__ import annotations
+
+from repro.core.motif import Motif
+from repro.errors import MotifError
+from repro.strand.terms import Struct, Term, Tup, Var
+
+__all__ = ["GRAPH_LIBRARY", "graph_motif", "sssp_goals"]
+
+GRAPH_LIBRARY = """
+% gworker(K, Part, Ports, Result): own the port for worker K, then serve
+% visit messages against the local adjacency part.
+%   Part   — list of adj(Node, Neighbours)
+%   Ports  — shared tuple; slot K is filled by this worker
+%   Result — bound to the local dist(Node, D) list at quiescence
+gwork(K, Part, Ports, Result) :-
+    open_port(P, S),
+    put_arg(K, Ports, P),
+    gserve(S, Part, Ports, [], Result).
+
+gserve([visit(Node, D) | In], Part, Ports, Dists, Result) :-
+    relax(Node, D, Dists, Dists1, Improved),
+    forward(Improved, Node, D, Part, Ports),
+    gserve(In, Part, Ports, Dists1, Result).
+gserve([], _, _, Dists, Result) :- Result := Dists.
+gserve([halt | _], _, _, Dists, Result) :- Result := Dists.
+
+% relax: keep the smaller distance; Improved := yes iff the table changed.
+relax(Node, D, [dist(Node2, D2) | Rest], Out, Improved) :- Node == Node2, D < D2 |
+    Out := [dist(Node2, D) | Rest],
+    Improved := yes.
+relax(Node, D, [dist(Node2, D2) | Rest], Out, Improved) :- Node == Node2, D >= D2 |
+    Out := [dist(Node2, D2) | Rest],
+    Improved := no.
+relax(Node, D, [dist(Node2, D2) | Rest], Out, Improved) :- Node =\\= Node2 |
+    Out := [dist(Node2, D2) | Rest1],
+    relax(Node, D, Rest, Rest1, Improved).
+relax(Node, D, [], Out, Improved) :-
+    Out := [dist(Node, D)],
+    Improved := yes.
+
+% An improved distance propagates D+1 to every neighbour's owner.
+forward(yes, Node, D, Part, Ports) :-
+    lookup(Node, Part, Neighbours),
+    D1 := D + 1,
+    fan(Neighbours, D1, Ports).
+forward(no, _, _, _, _).
+
+lookup(Node, [adj(Node2, Ns) | _], Out) :- Node == Node2 | Out := Ns.
+lookup(Node, [adj(Node2, _) | Rest], Out) :- Node =\\= Node2 |
+    lookup(Node, Rest, Out).
+lookup(_, [], Out) :- Out := [].
+
+fan([Nb | Rest], D, Ports) :-
+    length(Ports, NP),
+    O := Nb mod NP + 1,
+    distribute(O, visit(Nb, D), Ports),
+    fan(Rest, D, Ports).
+fan([], _, _).
+
+% Kick the computation: deliver visit(Source, 0) to the source's owner.
+gstart(Source, Ports) :-
+    length(Ports, NP),
+    O := Source mod NP + 1,
+    distribute(O, visit(Source, 0), Ports).
+"""
+
+
+def graph_motif() -> Motif:
+    """Library-only graph motif; ``gserve/5`` is a quiescence service."""
+    return Motif(
+        name="graph-sssp",
+        library=GRAPH_LIBRARY,
+        services={("gserve", 5)},
+    )
+
+
+def sssp_goals(
+    adjacency: dict[int, list[int]],
+    source: int,
+    workers: int,
+) -> tuple[list[Term], list[Var], Tup]:
+    """Build the worker goals for a single-source shortest-path run.
+
+    ``adjacency`` maps node id → neighbour ids (node ids are arbitrary
+    non-negative ints).  Node ``n`` is owned by worker ``n mod workers + 1``
+    and placed on that processor.
+
+    Returns ``(goals, result_vars, ports_tuple)``; after the run, worker
+    ``k``'s ``result_vars[k-1]`` holds its ``dist(Node, D)`` list.
+    """
+    if workers < 1:
+        raise MotifError("sssp needs at least one worker")
+    if source not in adjacency:
+        raise MotifError(f"source {source} is not a node of the graph")
+    from repro.strand.foreign import from_python
+
+    parts: list[list[Term]] = [[] for _ in range(workers)]
+    for node, neighbours in sorted(adjacency.items()):
+        owner = node % workers
+        parts[owner].append(
+            Struct("adj", (node, from_python(sorted(neighbours))))
+        )
+    ports = Tup([Var(f"P{k + 1}") for k in range(workers)])
+    goals: list[Term] = []
+    results: list[Var] = []
+    for k in range(workers):
+        result = Var(f"Dists{k + 1}")
+        results.append(result)
+        from repro.strand.terms import Cons, NIL
+
+        part_term: Term = NIL
+        for entry in reversed(parts[k]):
+            part_term = Cons(entry, part_term)
+        worker = Struct("gwork", (k + 1, part_term, ports, result))
+        goals.append(Struct("@", (worker, k + 1)))
+    goals.append(Struct("gstart", (source, ports)))
+    return goals, results, ports

@@ -1,0 +1,96 @@
+"""Grid/stencil motif — §4 future work ("grid problems"); cf. the DIME
+package in §1 (mesh maintained by the system, user supplies per-node code).
+
+A 1-D strip decomposition of a 2-D relaxation: each worker owns a strip of
+rows, runs ``K`` sweeps, and exchanges boundary rows with its neighbours
+through streams each iteration.  The user supplies the computational
+procedures (typically foreign, cost ∝ strip size):
+
+* ``top_row(Strip, Row)`` / ``bottom_row(Strip, Row)``;
+* ``sweep(Strip, Above, Below, NewStrip)`` — one relaxation step, where
+  ``Above``/``Below`` are neighbour boundary rows or the atom ``edge``.
+
+The worker chain is assembled by :func:`grid_goals` (stream variables and
+``@ J`` placements built directly), mirroring how DIME "maintains the mesh
+data structure on a parallel computer and handles communication".
+"""
+
+from __future__ import annotations
+
+from repro.core.motif import Motif
+from repro.errors import MotifError
+from repro.strand.terms import Struct, Term, Var
+
+__all__ = ["GRID_LIBRARY", "grid_motif", "grid_goals"]
+
+GRID_LIBRARY = """
+% gworker(Strip, K, UpIn, UpOut, DownIn, DownOut, Result):
+% run K sweeps, exchanging boundary rows on the four streams.
+gworker(Strip, 0, _, UpOut, _, DownOut, Result) :-
+    UpOut := [],
+    DownOut := [],
+    Result := Strip.
+gworker(Strip, K, UpIn, UpOut, DownIn, DownOut, Result) :- K > 0 |
+    top_row(Strip, Top),
+    bottom_row(Strip, Bottom),
+    UpOut := [Top | UpOut1],
+    DownOut := [Bottom | DownOut1],
+    recv(UpIn, Above, UpIn1),
+    recv(DownIn, Below, DownIn1),
+    sweep(Strip, Above, Below, Strip1),
+    K1 := K - 1,
+    gworker(Strip1, K1, UpIn1, UpOut1, DownIn1, DownOut1, Result).
+
+recv([Row | Rest], Out, Tail) :- Out := Row, Tail := Rest.
+
+% Fixed-boundary generator: K copies of the atom `edge`.
+boundary_stream(K, S) :- K > 0 |
+    S := [edge | S1],
+    K1 := K - 1,
+    boundary_stream(K1, S1).
+boundary_stream(0, S) :- S := [].
+"""
+
+
+def grid_motif() -> Motif:
+    """Library-only grid motif (workers + boundary streams)."""
+    return Motif(name="grid", library=GRID_LIBRARY)
+
+
+def grid_goals(strips: list[Term], iterations: int) -> tuple[list[Term], list[Var]]:
+    """Build the worker-chain goals for the given strip terms.
+
+    Worker ``i`` is placed on processor ``i``; between neighbours ``i`` and
+    ``i+1`` two streams carry boundary rows (down from ``i``, up from
+    ``i+1``).  The outermost streams are fed by ``boundary_stream``.
+
+    Returns ``(goals, result_vars)``; spawn the goals and read each
+    worker's final strip from the result variables after the run.
+    """
+    workers = len(strips)
+    if workers < 1:
+        raise MotifError("grid needs at least one strip")
+    goals: list[Term] = []
+    results: list[Var] = []
+    # down[i] = stream from worker i to worker i+1; up[i] = the reverse.
+    down = [Var(f"Dn{i}") for i in range(workers + 1)]
+    up = [Var(f"Up{i}") for i in range(workers + 1)]
+    goals.append(Struct("boundary_stream", (iterations, down[0])))
+    goals.append(Struct("boundary_stream", (iterations, up[workers])))
+    for i, strip in enumerate(strips):
+        result = Var(f"Res{i + 1}")
+        results.append(result)
+        worker = Struct(
+            "gworker",
+            (
+                strip,
+                iterations,
+                down[i],      # UpIn: boundary row arriving from above
+                up[i],        # UpOut: my top row sent upward
+                up[i + 1],    # DownIn: boundary row arriving from below
+                down[i + 1],  # DownOut: my bottom row sent downward
+                result,
+            ),
+        )
+        goals.append(Struct("@", (worker, i + 1)))
+    return goals, results

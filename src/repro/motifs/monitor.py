@@ -1,0 +1,84 @@
+"""Monitor motif — the §1 "Argonne monitor macros" analogue.
+
+"The Argonne monitor macros and Schedule packages support load-balancing
+on shared-memory computers" (§1).  The monitor macros' core abstraction is
+mutual exclusion around shared state; in a dataflow language the same
+abstraction is a **serializer**: a perpetual process that owns the state
+and applies request operations one at a time, in arrival order.  Atomicity
+is free — the loop carries the state from one request to the next, so no
+two operations ever interleave.
+
+The user supplies ``user_handle(Op, State, NewState, Reply)`` rules (or a
+foreign procedure of that name) defining additional operations; common
+ones (counter, lock, get/put) are built in.  Requests are sent through the
+monitor's port from any processor::
+
+    new_monitor(0, Counter),                 % shared counter at 0
+    send_port(Counter, req(incr, R1)),       % R1 := new value, atomically
+    send_port(Counter, req(get, V)).
+
+The library also ships a ready-made counter and a test-and-set lock — the
+two idioms the monitor macros were most used for.
+"""
+
+from __future__ import annotations
+
+from repro.core.motif import Motif
+
+__all__ = ["MONITOR_LIBRARY", "monitor_motif"]
+
+MONITOR_LIBRARY = """
+% new_monitor(Init, Port): a serializer owning Init; operations arrive as
+% req(Op, Reply) messages on the port and are applied in arrival order.
+new_monitor(Init, Port) :-
+    open_port(Port, S),
+    monitor_loop(S, Init).
+
+monitor_loop([req(Op, Reply) | In], State) :-
+    handle(Op, State, State1, Reply),
+    monitor_loop(In, State1).
+monitor_loop([], _).
+monitor_loop([halt | _], _).
+
+% Ready-made operations (users add their own handle/4 rules):
+%   incr / decr          — counter; Reply := the new value
+%   get                  — Reply := current state
+%   put(V)               — replace state; Reply := old state
+%   test_and_set         — lock acquire: Reply := got/busy (state 0 = free)
+%   release              — lock release
+handle(incr, State, State1, Reply) :-
+    State1 := State + 1,
+    Reply := State1.
+handle(decr, State, State1, Reply) :-
+    State1 := State - 1,
+    Reply := State1.
+handle(get, State, State1, Reply) :-
+    State1 := State,
+    Reply := State.
+handle(put(V), State, State1, Reply) :-
+    State1 := V,
+    Reply := State.
+handle(test_and_set, 0, State1, Reply) :-
+    State1 := 1,
+    Reply := got.
+handle(test_and_set, 1, State1, Reply) :-
+    State1 := 1,
+    Reply := busy.
+handle(release, _, State1, Reply) :-
+    State1 := 0,
+    Reply := released.
+% Open extension point: unknown operations fall through to the user's
+% user_handle/4 rules (program union keeps procedures closed, so the
+% library delegates instead of letting users append to handle/4).
+handle(Op, State, State1, Reply) :- otherwise |
+    user_handle(Op, State, State1, Reply).
+"""
+
+
+def monitor_motif() -> Motif:
+    """The monitor/serializer motif; ``monitor_loop/2`` is a service."""
+    return Motif(
+        name="monitor",
+        library=MONITOR_LIBRARY,
+        services={("monitor_loop", 2)},
+    )

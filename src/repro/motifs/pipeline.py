@@ -1,0 +1,54 @@
+"""Pipeline motif — §4 future work.
+
+Stages are user procedures ``s(X, Y)`` applied elementwise; stage ``i``
+runs on processor ``i`` (one stream process per stage, placed with the
+language's ``@ J`` feature, not a pragma).  Streams give the classic
+pipeline overlap: stage 2 works on element 1 while stage 1 works on
+element 2.
+
+The library is generated from the stage list; no server network is needed
+and the pipeline terminates naturally when the input list ends.
+"""
+
+from __future__ import annotations
+
+from repro.core.motif import Motif
+from repro.errors import MotifError
+
+__all__ = ["pipeline_library_source", "pipeline_motif"]
+
+
+def pipeline_library_source(stages: list[str]) -> str:
+    """Generate the pipeline library for the given stage procedure names.
+
+    ``pipe(Xs, Ys)`` runs ``Xs`` through every stage; each stage gets a
+    ``<stage>_stream/2`` transducer placed on its own processor.
+    """
+    if not stages:
+        raise MotifError("a pipeline needs at least one stage")
+    lines = []
+    connections = []
+    prev = "Xs"
+    for i, stage in enumerate(stages):
+        out = "Ys" if i == len(stages) - 1 else f"T{i + 1}"
+        connections.append(f"    {stage}_stream({prev}, {out}) @ {i + 1}")
+        prev = out
+    lines.append("pipe(Xs, Ys) :-\n" + ",\n".join(connections) + ".")
+    for stage in stages:
+        lines.append(
+            f"""
+{stage}_stream([X | Xs], Out) :-
+    Out := [Y | Out1],
+    {stage}(X, Y),
+    {stage}_stream(Xs, Out1).
+{stage}_stream([], Out) :- Out := []."""
+        )
+    return "\n".join(lines) + "\n"
+
+
+def pipeline_motif(stages: list[str]) -> Motif:
+    """Library-only pipeline motif; run with ``pipe(Xs, Ys)``."""
+    return Motif(
+        name=f"pipeline[{'>'.join(stages)}]",
+        library=pipeline_library_source(stages),
+    )

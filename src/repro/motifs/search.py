@@ -1,0 +1,146 @@
+"""Parallel tree-search motif — §4 future work; §1's or-parallel Prolog
+example ("the user provides logic clauses that specify a search problem and
+the system explores the corresponding search tree").
+
+The user supplies two procedures (typically foreign):
+
+* ``expand(Node, Children)`` — the node's children (a list; empty at dead
+  ends and full solutions);
+* ``sol(Node, S)``           — ``S := 1`` if the node is a solution else 0.
+
+``explore(Node, Count, Depth)`` counts solutions in the subtree; nodes in
+the first ``Depth`` levels fan their children out with ``@ random``, below
+that exploration stays local (or-parallelism with bounded task grain).
+"""
+
+from __future__ import annotations
+
+from repro.core.motif import ComposedMotif, Motif
+from repro.motifs.random_map import rand_motif
+from repro.motifs.server import server_motif
+from repro.motifs.termination import short_circuit_motif
+
+__all__ = [
+    "SEARCH_LIBRARY",
+    "COLLECT_LIBRARY",
+    "search_motif",
+    "search_stack",
+    "collect_search_stack",
+]
+
+SEARCH_LIBRARY = """
+% explore(Node, Count, Depth): count solutions in the subtree under Node.
+explore(Node, C, D) :- D > 0 |
+    expand(Node, Kids),
+    sol(Node, S),
+    D1 := D - 1,
+    explore_list(Kids, C1, D1),
+    C := S + C1.
+explore(Node, C, 0) :- lexplore(Node, C).
+
+explore_list([K | Ks], C, D) :-
+    explore(K, C1, D) @ random,
+    explore_list(Ks, C2, D),
+    C := C1 + C2.
+explore_list([], C, _) :- C := 0.
+
+% Local exploration below the depth bound.
+lexplore(Node, C) :-
+    expand(Node, Kids),
+    sol(Node, S),
+    lexplore_list(Kids, C1),
+    C := S + C1.
+lexplore_list([K | Ks], C) :-
+    lexplore(K, C1),
+    lexplore_list(Ks, C2),
+    C := C1 + C2.
+lexplore_list([], C) :- C := 0.
+"""
+
+
+COLLECT_LIBRARY = """
+% explore_all(Node, Sols, Tail, Depth): the solutions in Node's subtree as
+% a difference list Sols\\Tail — the or-parallel Prolog model of §1, where
+% the system returns the actual solutions, not a count.  Subtrees build
+% disjoint segments of one shared list, so collection needs no merging.
+explore_all(Node, Sols, Tail, D) :- D > 0 |
+    expand(Node, Kids),
+    sol(Node, S),
+    emit_sol(S, Node, Sols, Sols1),
+    D1 := D - 1,
+    explore_all_list(Kids, Sols1, Tail, D1).
+explore_all(Node, Sols, Tail, 0) :- lexplore_all(Node, Sols, Tail).
+
+explore_all_list([K | Ks], Sols, Tail, D) :-
+    explore_all(K, Sols, Mid, D) @ random,
+    explore_all_list(Ks, Mid, Tail, D).
+explore_all_list([], Sols, Tail, _) :- Sols := Tail.
+
+lexplore_all(Node, Sols, Tail) :-
+    expand(Node, Kids),
+    sol(Node, S),
+    emit_sol(S, Node, Sols, Sols1),
+    lexplore_all_list(Kids, Sols1, Tail).
+lexplore_all_list([K | Ks], Sols, Tail) :-
+    lexplore_all(K, Sols, Mid),
+    lexplore_all_list(Ks, Mid, Tail).
+lexplore_all_list([], Sols, Tail) :- Sols := Tail.
+
+emit_sol(1, Node, Sols, Rest) :- Sols := [Node | Rest].
+emit_sol(0, _, Sols, Rest) :- Sols := Rest.
+"""
+
+
+def search_motif() -> Motif:
+    """Library-only parallel search motif."""
+    return Motif(name="search", library=SEARCH_LIBRARY)
+
+
+def collect_search_stack(
+    *,
+    termination: bool = True,
+    server_library: str = "ports",
+) -> ComposedMotif:
+    """``Server ∘ Rand ∘ [ShortCircuit ∘] CollectSearch`` — parallel search
+    returning the solutions themselves (difference-list collection).
+
+    Entry message: ``boot(Root, Sols, [], Depth, Done)`` with termination,
+    else ``explore_all(Root, Sols, [], Depth)``; ``Sols`` closes to the
+    full solution list.
+    """
+    stack: list[Motif] = [
+        Motif(name="collect-search", library=COLLECT_LIBRARY)
+    ]
+    if termination:
+        stack.append(
+            short_circuit_motif(
+                entry=("explore_all", 4),
+                sync_outputs={("expand", 2): 1, ("sol", 2): 1},
+            )
+        )
+    stack.append(rand_motif())
+    stack.append(server_motif(server_library))
+    return ComposedMotif(stack)
+
+
+def search_stack(
+    *,
+    termination: bool = True,
+    server_library: str = "ports",
+) -> ComposedMotif:
+    """``Server ∘ Rand ∘ [ShortCircuit ∘] Search``.
+
+    Entry message: ``boot(Root, Count, Depth, Done)`` with termination,
+    else ``explore(Root, Count, Depth)``.
+    """
+    stack: list[Motif] = [search_motif()]
+    if termination:
+        stack.append(
+            short_circuit_motif(
+                entry=("explore", 3),
+                sync_outputs={("expand", 2): 1, ("sol", 2): 1},
+            )
+        )
+    stack.append(rand_motif())
+    stack.append(server_motif(server_library))
+    return ComposedMotif(stack)

@@ -1,0 +1,181 @@
+"""The Server motif (paper §3.2).
+
+Provides "a fully connected set of named servers, each capable of initiating
+computations upon receipt of messages from other servers".  The user writes
+a ``server/1`` procedure over an incoming message stream, using three
+operations:
+
+* ``send(Node, Msg)`` — deliver ``Msg`` to server ``Node``;
+* ``nodes(N)``       — bind ``N`` to the number of servers;
+* ``halt``           — broadcast the ``halt`` message to every server.
+
+The motif's transformation threads the output tuple ``DT`` through the call
+graph and rewrites the operations (paper steps 1–4)::
+
+    send(Node, Msg)  →  distribute(Node, Msg, DT)
+    nodes(N)         →  length(DT, N)
+    halt             →  broadcast(halt, DT)
+
+Two interchangeable library programs are provided (DESIGN.md §2):
+
+* :data:`PORT_LIBRARY` — each server owns one *port*; every other server
+  appends to it directly.  This is the robust default.
+* :data:`MERGE_LIBRARY` — the literal Figure-3 architecture: N² streams,
+  with each server's input formed by an explicit binary ``merge`` tree.
+  Messages cost extra reductions in the merge chain; experiment E9
+  measures the difference.
+"""
+
+from __future__ import annotations
+
+from repro.core.motif import Motif
+from repro.strand.terms import Atom, Struct, Term, Var
+from repro.transform.argthread import ThreadArgument
+
+__all__ = [
+    "server_transformation",
+    "server_motif",
+    "PORT_LIBRARY",
+    "MERGE_LIBRARY",
+    "SERVER_SERVICES",
+]
+
+PORT_LIBRARY = """
+% Server library (port network).  create(N, Msg) builds N servers on
+% processors 1..N, each reading its own port; DT is the tuple of ports.
+create(N, Msg) :-
+    make_tuple(N, DT),
+    spawn_servers(N, DT),
+    distribute(1, Msg, DT).
+
+spawn_servers(N, DT) :- N > 0 |
+    server_init(N, DT) @ N,
+    N1 := N - 1,
+    spawn_servers(N1, DT).
+spawn_servers(0, _).
+
+% Runs on the server's own processor so the port is owned locally.
+server_init(N, DT) :-
+    open_port(Port, Stream),
+    put_arg(N, DT, Port),
+    server(Stream, DT).
+
+% halt support: append Msg to every server stream in DT.
+broadcast(Msg, DT) :- length(DT, N), bcast(N, Msg, DT).
+bcast(N, Msg, DT) :- N > 0 |
+    distribute(N, Msg, DT),
+    N1 := N - 1,
+    bcast(N1, Msg, DT).
+bcast(0, _, _).
+"""
+
+MERGE_LIBRARY = """
+% Server library (merge network, after Figure 3).  Each pair of servers
+% (i, j) gets a dedicated stream; receiver j merges its N input streams
+% into one with a chain of binary merges.  Cols is a tuple of columns;
+% column K holds the write ports into receiver K, indexed by writer.
+create(N, Msg) :-
+    make_tuple(N, Cols),
+    start_receivers(N, N, Cols),
+    send_initial(Msg, Cols).
+
+start_receivers(K, N, Cols) :- K > 0 |
+    receiver_init(K, N, Cols) @ K,
+    K1 := K - 1,
+    start_receivers(K1, N, Cols).
+start_receivers(0, _, _).
+
+receiver_init(K, N, Cols) :-
+    make_tuple(N, Col),
+    put_arg(K, Cols, Col),
+    open_ports(N, Col, Streams),
+    merge_all(Streams, In),
+    make_dt(N, K, Cols, DT),
+    server(In, DT).
+
+open_ports(N, Col, Streams) :- N > 0 |
+    open_port(P, S),
+    put_arg(N, Col, P),
+    Streams := [S | Rest],
+    N1 := N - 1,
+    open_ports(N1, Col, Rest).
+open_ports(0, _, Streams) :- Streams := [].
+
+merge_all([S], In) :- In := S.
+merge_all([S1, S2 | Rest], In) :-
+    merge(S1, S2, M),
+    merge_all([M | Rest], In).
+merge_all([], In) :- In := [].
+
+% DT for receiver K: DT[J] = Cols[J][K], the port writing from K to J.
+make_dt(N, K, Cols, DT) :- make_tuple(N, DT), fill_dt(N, K, Cols, DT).
+fill_dt(J, K, Cols, DT) :- J > 0 |
+    arg(J, Cols, Col),
+    arg(K, Col, P),
+    put_arg(J, DT, P),
+    J1 := J - 1,
+    fill_dt(J1, K, Cols, DT).
+fill_dt(0, _, _, _).
+
+send_initial(Msg, Cols) :-
+    arg(1, Cols, Col),
+    arg(1, Col, P),
+    send_port(P, Msg).
+
+broadcast(Msg, DT) :- length(DT, N), bcast(N, Msg, DT).
+bcast(N, Msg, DT) :- N > 0 |
+    distribute(N, Msg, DT),
+    N1 := N - 1,
+    bcast(N1, Msg, DT).
+bcast(0, _, _).
+"""
+
+#: Service procedures introduced by the Server motif: the transformed user
+#: server loop.  (``merge/3`` is always a service at the engine level.)
+SERVER_SERVICES: frozenset[tuple[str, int]] = frozenset({("server", 2)})
+
+
+def _rewrite_send(goal: Struct, dt: Var) -> list[Term]:
+    node, msg = goal.args
+    return [Struct("distribute", (node, msg, dt))]
+
+
+def _rewrite_nodes(goal: Struct, dt: Var) -> list[Term]:
+    return [Struct("length", (dt, goal.args[0]))]
+
+
+def _rewrite_halt(goal: Struct, dt: Var) -> list[Term]:
+    return [Struct("broadcast", (Atom("halt"), dt))]
+
+
+def server_transformation() -> ThreadArgument:
+    """The Server transformation (steps 1–4 of §3.2)."""
+    return ThreadArgument(
+        ops={
+            ("send", 2): _rewrite_send,
+            ("nodes", 1): _rewrite_nodes,
+            ("halt", 0): _rewrite_halt,
+        },
+        var_hint="DT",
+        also_thread=(("server", 1),),
+        name="server",
+    )
+
+
+def server_motif(library: str = "ports") -> Motif:
+    """The Server motif with the chosen library implementation.
+
+    ``library`` is ``"ports"`` (default) or ``"merge"`` (Figure-3 style).
+    """
+    if library == "ports":
+        source = PORT_LIBRARY
+    elif library == "merge":
+        source = MERGE_LIBRARY
+    else:
+        raise ValueError(f"unknown server library {library!r}; use 'ports' or 'merge'")
+    return Motif(
+        name=f"server[{library}]",
+        transformation=server_transformation(),
+        library=source,
+        services=SERVER_SERVICES,
+    )

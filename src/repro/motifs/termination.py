@@ -1,0 +1,190 @@
+"""Short-circuit termination detection (paper §3.3, last paragraph).
+
+"The Random motif described here does not provide for termination detection
+in an application.  If this is required, the associated transformation can
+be extended to thread a short circuit through the application program and
+to add code to invoke the Server motif's halt operation when the
+application terminates."
+
+The classic short-circuit technique: every application process carries two
+extra arguments ``(L, R)`` forming a segment of a chain.  A rule that
+spawns ``k`` application sub-processes splits its segment into ``k`` pieces
+with fresh middle variables; a rule that spawns none closes its segment
+with ``L := R``.  When the whole computation has finished, the chain has
+collapsed and the initial left end receives the initial right end's value
+(the atom ``done``); a ``watch`` process then invokes ``halt``.
+
+Computations whose real completion is the binding of an *output* variable
+(e.g. ``eval(V, LV, RV, Value)``'s ``Value``) declare that via
+``sync_outputs``; their segment closes only once the output is known.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransformError
+from repro.strand.program import Program, Rule
+from repro.strand.terms import Atom, Cons, Struct, Term, Var
+from repro.transform.callgraph import CallGraph
+from repro.transform.rewrite import strip_placement, with_placement
+from repro.transform.transformation import Transformation
+
+__all__ = ["ShortCircuit", "short_circuit_motif", "BOOT", "WATCH"]
+
+BOOT = "boot"
+WATCH = "watch"
+
+_SUPPORT_SOURCE_DOC = """
+watch(Done) :- known(Done) | halt.
+wait_done(X, L, R) :- known(X) | L := R.
+"""  # (generated structurally below; shown here for readability)
+
+
+class ShortCircuit(Transformation):
+    """Thread a termination short circuit through an application.
+
+    Parameters
+    ----------
+    procs:
+        Indicators of the application procedures to thread.  ``None``
+        threads everything reachable from ``entry`` that is defined in the
+        program (builtins and foreign calls excluded automatically).
+    entry:
+        The procedure whose completion means "the application is done".
+        A ``boot`` wrapper with the entry's original arity is generated,
+        together with its server dispatch rule.
+    sync_outputs:
+        ``indicator -> argument position`` (0-based) for calls (typically
+        foreign, like ``eval/4``) whose completion is the binding of an
+        output argument.
+    """
+
+    name = "short-circuit"
+
+    def __init__(
+        self,
+        entry: tuple[str, int],
+        procs: set[tuple[str, int]] | None = None,
+        sync_outputs: dict[tuple[str, int], int] | None = None,
+        add_server_rule: bool = True,
+    ):
+        self.entry = entry
+        self.procs = procs
+        self.sync_outputs = dict(sync_outputs or {})
+        self.add_server_rule = add_server_rule
+
+    def _affected(self, program: Program) -> set[tuple[str, int]]:
+        graph = CallGraph(program)
+        if self.entry not in graph.defined:
+            raise TransformError(
+                f"short-circuit entry {self.entry[0]}/{self.entry[1]} "
+                f"is not defined in {program.name!r}"
+            )
+        if self.procs is not None:
+            return set(self.procs) & graph.defined
+        return graph.reachable_from({self.entry}) & graph.defined
+
+    def apply(self, program: Program) -> Program:
+        affected = self._affected(program)
+        defined = set(program.indicators)
+        for name, arity in affected:
+            shifted = (name, arity + 2)
+            if shifted in defined and shifted not in affected:
+                raise TransformError(
+                    f"short-circuit threading {name}/{arity} would collide "
+                    f"with the existing procedure {name}/{arity + 2}"
+                )
+        out = Program(name=program.name)
+        for rule in program.rules():
+            renamed = rule.rename()
+            if renamed.indicator in affected:
+                out.add_rule(self._thread_rule(renamed, affected))
+            else:
+                out.add_rule(renamed)
+        self._add_support(out)
+        return out
+
+    def _thread_rule(self, rule: Rule, affected: set[tuple[str, int]]) -> Rule:
+        left, right = Var("L"), Var("R")
+        head = Struct(rule.head.functor, (*rule.head.args, left, right))
+        # First pass: find the segment-consuming goals.
+        segmented: list[int] = []
+        for idx, goal in enumerate(rule.body):
+            inner, _ = strip_placement(goal)
+            if inner.indicator in affected or inner.indicator in self.sync_outputs:
+                segmented.append(idx)
+        if not segmented:
+            return Rule(head, rule.guards, [*rule.body, Struct(":=", (left, right))])
+        body: list[Term] = []
+        cursor = left
+        remaining = len(segmented)
+        for idx, goal in enumerate(rule.body):
+            if idx not in segmented:
+                body.append(goal)
+                continue
+            remaining -= 1
+            nxt = right if remaining == 0 else Var("M")
+            inner, where = strip_placement(goal)
+            if inner.indicator in affected:
+                threaded = Struct(inner.functor, (*inner.args, cursor, nxt))
+                body.append(with_placement(threaded, where))
+            else:  # sync output call: keep the call, add a wait segment
+                body.append(goal)
+                position = self.sync_outputs[inner.indicator]
+                body.append(Struct("wait_done", (inner.args[position], cursor, nxt)))
+            cursor = nxt
+        return Rule(head, rule.guards, body)
+
+    def _add_support(self, out: Program) -> None:
+        entry_name, entry_arity = self.entry
+        # boot(A1..Ak, Done) :- entry(A1..Ak, Done, done), watch(Done).
+        # The circuit's left end is exposed as boot's last argument so other
+        # motifs (e.g. the scheduler) can observe completion.
+        args = [Var(f"A{i + 1}") for i in range(entry_arity)]
+        done = Var("Done")
+        out.add_rule(
+            Rule(
+                Struct(BOOT, (*args, done)),
+                [],
+                [
+                    Struct(entry_name, (*args, done, Atom("done"))),
+                    Struct(WATCH, (done,)),
+                ],
+            )
+        )
+        # watch(Done) :- known(Done) | halt.
+        dv = Var("Done")
+        out.add_rule(
+            Rule(Struct(WATCH, (dv,)), [Struct("known", (dv,))], [Atom("halt")])
+        )
+        # wait_done(X, L, R) :- known(X) | L := R.
+        x, l, r = Var("X"), Var("L"), Var("R")
+        out.add_rule(
+            Rule(
+                Struct("wait_done", (x, l, r)),
+                [Struct("known", (x,))],
+                [Struct(":=", (l, r))],
+            )
+        )
+        # server([boot(V1..Vk, Done) | In]) :- boot(V1..Vk, Done), server(In).
+        # (Skipped when a later motif, e.g. the scheduler, provides its own
+        # entry route for boot.)
+        if self.add_server_rule:
+            from repro.motifs.random_map import dispatch_rule
+
+            out.add_rule(dispatch_rule(BOOT, entry_arity + 1))
+
+
+def short_circuit_motif(
+    entry: tuple[str, int],
+    procs: set[tuple[str, int]] | None = None,
+    sync_outputs: dict[tuple[str, int], int] | None = None,
+    add_server_rule: bool = True,
+):
+    """The termination motif: the :class:`ShortCircuit` transformation with
+    an empty library."""
+    from repro.core.motif import Motif
+
+    return Motif(
+        name="termination",
+        transformation=ShortCircuit(entry, procs, sync_outputs, add_server_rule),
+    )

@@ -1,0 +1,337 @@
+"""One-way head matching and guard evaluation (committed choice).
+
+The paper (§2.1): "Conditions expressed by non-variable terms in a rule head
+define dataflow constraints: A rule cannot be used to reduce a process until
+a process's arguments match its own."
+
+For one rule and one process goal there are three outcomes:
+
+* **match** — every head position matches; rule variables are bound in an
+  environment (never the caller's variables: matching is strictly one-way);
+* **fail** — some position definitely clashes; the rule can never apply;
+* **suspend** — some position needs a caller variable to be bound first;
+  the blocking variables are reported so the engine can wait on them.
+
+Guard goals are evaluated under the environment with the same three-valued
+logic.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.strand.arith import ArithFail, Suspend, eval_arith
+from repro.strand.terms import (
+    Atom,
+    Cons,
+    Struct,
+    Term,
+    Tup,
+    Var,
+    deref,
+    term_eq,
+)
+
+__all__ = ["MatchResult", "match_head", "eval_guards", "instantiate", "GUARD_TESTS"]
+
+
+class MatchResult:
+    """Outcome of matching one rule against one goal."""
+
+    __slots__ = ("status", "env", "blocked")
+
+    MATCHED = "matched"
+    FAILED = "failed"
+    SUSPENDED = "suspended"
+
+    def __init__(self, status: str, env: dict[int, Term] | None = None,
+                 blocked: list[Var] | None = None):
+        self.status = status
+        self.env = env
+        self.blocked = blocked
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MatchResult({self.status})"
+
+
+def match_head(head: Struct, goal: Struct) -> MatchResult:
+    """Match a rule head against a process goal (same name/arity assumed)."""
+    env: dict[int, Term] = {}
+    blocked: list[Var] = []
+    for pattern, arg in zip(head.args, goal.args):
+        if not _match(pattern, arg, env, blocked):
+            return MatchResult(MatchResult.FAILED)
+    if blocked:
+        return MatchResult(MatchResult.SUSPENDED, blocked=blocked)
+    return MatchResult(MatchResult.MATCHED, env=env)
+
+
+def _match(pattern: Term, arg: Term, env: dict[int, Term], blocked: list[Var]) -> bool:
+    """Returns False on definite mismatch; accumulates blocking vars."""
+    pattern = deref(pattern)
+    pt = type(pattern)
+    if pt is Var:
+        bound = env.get(id(pattern))
+        if bound is None:
+            env[id(pattern)] = arg
+            return True
+        # Non-linear head (same variable twice): both occurrences must match
+        # the same value.  Unbound caller variables block the decision unless
+        # they are identical.
+        return _match_values(bound, arg, blocked)
+    arg = deref(arg)
+    at = type(arg)
+    if at is Var:
+        blocked.append(arg)
+        return True  # cannot decide yet; not a definite mismatch
+    if pt is Atom:
+        return pattern is arg
+    if pt is int or pt is float:
+        return (at is int or at is float) and pattern == arg
+    if pt is str:
+        return at is str and pattern == arg
+    if pt is Cons:
+        if at is not Cons:
+            return False
+        return _match(pattern.head, arg.head, env, blocked) and _match(
+            pattern.tail, arg.tail, env, blocked
+        )
+    if pt is Tup:
+        if at is not Tup or len(pattern.args) != len(arg.args):
+            return False
+        return all(
+            _match(p, a, env, blocked) for p, a in zip(pattern.args, arg.args)
+        )
+    if pt is Struct:
+        if at is not Struct or pattern.functor != arg.functor or len(
+            pattern.args
+        ) != len(arg.args):
+            return False
+        return all(
+            _match(p, a, env, blocked) for p, a in zip(pattern.args, arg.args)
+        )
+    raise TypeError(f"bad pattern term {pattern!r}")
+
+
+def _match_values(a: Term, b: Term, blocked: list[Var]) -> bool:
+    """Compare two caller-side terms for the non-linear-head case; unbound
+    variables block unless identical."""
+    a, b = deref(a), deref(b)
+    if a is b:
+        return True
+    if type(a) is Var:
+        blocked.append(a)
+        return True
+    if type(b) is Var:
+        blocked.append(b)
+        return True
+    ta, tb = type(a), type(b)
+    if ta is Cons and tb is Cons:
+        return _match_values(a.head, b.head, blocked) and _match_values(
+            a.tail, b.tail, blocked
+        )
+    if ta is Struct and tb is Struct:
+        if a.functor != b.functor or len(a.args) != len(b.args):
+            return False
+        return all(_match_values(x, y, blocked) for x, y in zip(a.args, b.args))
+    if ta is Tup and tb is Tup:
+        if len(a.args) != len(b.args):
+            return False
+        return all(_match_values(x, y, blocked) for x, y in zip(a.args, b.args))
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return a == b
+    return a is b or a == b if ta is tb else False
+
+
+def instantiate(term: Term, env: dict[int, Term], fresh: dict[int, Var]) -> Term:
+    """Build a body/guard goal instance: rule variables become their matched
+    values, unmatched rule variables become fresh shared variables."""
+    term = deref(term)
+    t = type(term)
+    if t is Var:
+        bound = env.get(id(term))
+        if bound is not None:
+            return bound
+        var = fresh.get(id(term))
+        if var is None:
+            var = Var(term.name)
+            fresh[id(term)] = var
+            env[id(term)] = var
+        return var
+    if t is Struct:
+        return Struct(term.functor, [instantiate(a, env, fresh) for a in term.args])
+    if t is Tup:
+        return Tup([instantiate(a, env, fresh) for a in term.args])
+    if t is Cons:
+        return Cons(instantiate(term.head, env, fresh), instantiate(term.tail, env, fresh))
+    return term
+
+
+# --------------------------------------------------------------------------
+# Guards
+# --------------------------------------------------------------------------
+
+def _test_integer(t: Term) -> bool:
+    return type(t) is int
+
+
+def _test_number(t: Term) -> bool:
+    return type(t) is int or type(t) is float
+
+
+def _test_float(t: Term) -> bool:
+    return type(t) is float
+
+
+def _test_atom(t: Term) -> bool:
+    return type(t) is Atom
+
+
+def _test_string(t: Term) -> bool:
+    return type(t) is str
+
+
+def _test_list(t: Term) -> bool:
+    from repro.strand.terms import NIL
+
+    return type(t) is Cons or t is NIL
+
+
+def _test_tuple(t: Term) -> bool:
+    return type(t) is Tup
+
+
+#: Type-test guards: ``name -> predicate over the dereffed, bound argument``.
+GUARD_TESTS: dict[str, Any] = {
+    "integer": _test_integer,
+    "number": _test_number,
+    "float": _test_float,
+    "atom": _test_atom,
+    "string": _test_string,
+    "list": _test_list,
+    "tuple": _test_tuple,
+}
+
+_COMPARISONS = {
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "=<": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+    "=\\=": lambda a, b: a != b,
+    "=:=": lambda a, b: a == b,
+}
+
+
+def eval_guards(guards: list[Term], env: dict[int, Term]) -> MatchResult:
+    """Evaluate a rule's guard conjunction under a head-match environment.
+
+    Guard goals never bind caller variables; they only observe.  A fresh-var
+    table is threaded so guards mentioning head-only variables still share
+    them (rare but legal).
+    """
+    blocked: list[Var] = []
+    fresh: dict[int, Var] = {}
+    for guard in guards:
+        goal = instantiate(guard, env, fresh)
+        outcome = _eval_guard(goal, blocked)
+        if outcome is False:
+            return MatchResult(MatchResult.FAILED)
+    if blocked:
+        return MatchResult(MatchResult.SUSPENDED, blocked=blocked)
+    return MatchResult(MatchResult.MATCHED, env=env)
+
+
+def _eval_guard(goal: Term, blocked: list[Var]) -> bool:
+    goal = deref(goal)
+    if type(goal) is Atom:
+        if goal.name == "true":
+            return True
+        if goal.name == "otherwise":
+            # `otherwise` succeeds; rule ordering gives it its meaning.
+            return True
+        return False
+    if type(goal) is not Struct:
+        return False
+    name, arity = goal.functor, len(goal.args)
+    if arity == 2 and name in _COMPARISONS:
+        try:
+            a = eval_arith(goal.args[0])
+            b = eval_arith(goal.args[1])
+        except Suspend as s:
+            blocked.extend(s.variables)
+            return True  # undecided
+        except ArithFail:
+            return False
+        return _COMPARISONS[name](a, b)
+    if arity == 2 and name in ("==", "\\=="):
+        a, b = deref(goal.args[0]), deref(goal.args[1])
+        decided, equal = _ground_equal(a, b, blocked)
+        if not decided:
+            return True  # undecided; blocked vars recorded
+        return equal if name == "==" else not equal
+    if arity == 1 and name in GUARD_TESTS:
+        arg = deref(goal.args[0])
+        if type(arg) is Var:
+            blocked.append(arg)
+            return True
+        return GUARD_TESTS[name](arg)
+    if arity == 1 and name == "known":
+        arg = deref(goal.args[0])
+        if type(arg) is Var:
+            blocked.append(arg)
+            return True
+        return True
+    return False
+
+
+def _ground_equal(a: Term, b: Term, blocked: list[Var]) -> tuple[bool, bool]:
+    """(decided?, equal?) for structural equality; suspends on unbound
+    variables unless identity already decides."""
+    a, b = deref(a), deref(b)
+    if a is b:
+        return True, True
+    if type(a) is Var:
+        blocked.append(a)
+        return False, False
+    if type(b) is Var:
+        blocked.append(b)
+        return False, False
+    # Both bound: structural comparison on the spot.  Nested unbound vars
+    # inside structures make the comparison undecided only if the decided
+    # parts are equal so far; term_eq treats distinct unbound vars as
+    # unequal, so do a cautious recursive walk instead.
+    ta, tb = type(a), type(b)
+    if ta is Struct and tb is Struct:
+        if a.functor != b.functor or len(a.args) != len(b.args):
+            return True, False
+        for x, y in zip(a.args, b.args):
+            decided, equal = _ground_equal(x, y, blocked)
+            if not decided:
+                return False, False
+            if not equal:
+                return True, False
+        return True, True
+    if ta is Cons and tb is Cons:
+        decided, equal = _ground_equal(a.head, b.head, blocked)
+        if not decided or not equal:
+            return decided, equal
+        return _ground_equal(a.tail, b.tail, blocked)
+    if ta is Tup and tb is Tup:
+        if len(a.args) != len(b.args):
+            return True, False
+        for x, y in zip(a.args, b.args):
+            decided, equal = _ground_equal(x, y, blocked)
+            if not decided:
+                return False, False
+            if not equal:
+                return True, False
+        return True, True
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return True, a == b
+    if ta is not tb:
+        return True, False
+    return True, a == b
+
+
+# Re-export for engine convenience.
+__all__.append("term_eq")

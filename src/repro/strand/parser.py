@@ -1,0 +1,268 @@
+"""Recursive-descent parser for the Strand dialect.
+
+Grammar (operator precedence, loosest first)::
+
+    program   :=  clause*
+    clause    :=  head [ ':-' goals [ '|' goals ] ] '.'
+    goals     :=  goal ( (','|'&') goal )*
+    goal      :=  annot
+    annot     :=  assign ( '@' assign )*          -- placement / pragma
+    assign    :=  compare [ (':='|'is'|'=') compare ]
+    compare   :=  additive [ ('<'|'>'|'=<'|'>='|'=='|'\\=='|'=\\=') additive ]
+    additive  :=  multipl ( ('+'|'-') multipl )*
+    multipl   :=  unary ( ('*'|'/'|'//'|'mod') unary )*
+    unary     :=  '-' unary | primary
+    primary   :=  number | string | variable | list | tuple
+               |  atom [ '(' goals… no — '(' term ( ',' term )* ')' ]
+               |  '(' goal ')'
+
+The commit bar ``|`` is recognized only at clause top level; inside ``[...]``
+it is list-tail punctuation.  ``&`` (Strand's sequential-and) is accepted as
+a goal separator; the dataflow semantics of this dialect make the
+distinction unobservable, so it is treated like ``,``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.strand.program import Program, Rule
+from repro.strand.terms import Atom, Cons, NIL, Struct, Term, Tup, Var
+from repro.strand.tokenizer import Token, tokenize
+
+__all__ = ["parse_program", "parse_term", "parse_rule", "parse_query"]
+
+_COMPARE_OPS = {"<", ">", "=<", ">=", "==", "\\==", "=\\=", "=:="}
+_ASSIGN_OPS = {":=", "=", "is"}
+_ADD_OPS = {"+", "-"}
+_MUL_OPS = {"*", "/", "//", "mod"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], source_name: str):
+        self.tokens = tokens
+        self.pos = 0
+        self.source_name = source_name
+        # Variables scope per clause: same name -> same Var object.
+        self.varmap: dict[str, Var] = {}
+
+    # -- token plumbing ----------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def at_punct(self, *texts: str) -> bool:
+        tok = self.peek()
+        return tok.kind == "punct" and tok.text in texts
+
+    def at_atom(self, *names: str) -> bool:
+        tok = self.peek()
+        return tok.kind == "atom" and tok.text in names
+
+    def expect(self, text: str) -> Token:
+        tok = self.next()
+        if not (tok.kind == "punct" and tok.text == text):
+            raise ParseError(
+                f"expected {text!r} but found {tok.text!r} in {self.source_name}",
+                tok.line,
+                tok.column,
+            )
+        return tok
+
+    def error(self, message: str) -> ParseError:
+        tok = self.peek()
+        return ParseError(f"{message} in {self.source_name}", tok.line, tok.column)
+
+    # -- grammar -----------------------------------------------------------
+    def program(self, name: str) -> Program:
+        rules: list[Rule] = []
+        while self.peek().kind != "eof":
+            rules.append(self.clause())
+        return Program(rules, name=name)
+
+    def clause(self) -> Rule:
+        self.varmap = {}
+        head = self.primary()
+        if isinstance(head, Atom):
+            head = Struct(head.name, ())  # zero-arity head like `halt.`
+        if not isinstance(head, Struct):
+            raise self.error(f"rule head must be a structure, got {head!r}")
+        guards: list[Term] = []
+        body: list[Term] = []
+        if self.at_punct(":-"):
+            self.next()
+            first = self.goal_list()
+            if self.at_punct("|"):
+                self.next()
+                guards = first
+                body = self.goal_list()
+            else:
+                body = first
+        self.expect(".")
+        return Rule(head, guards, body)
+
+    def goal_list(self) -> list[Term]:
+        goals = [self.goal()]
+        while self.at_punct(",", "&"):
+            self.next()
+            goals.append(self.goal())
+        return goals
+
+    def goal(self) -> Term:
+        return self.annot()
+
+    def annot(self) -> Term:
+        left = self.assign()
+        while self.at_punct("@"):
+            self.next()
+            right = self.assign()
+            left = Struct("@", (left, right))
+        return left
+
+    def assign(self) -> Term:
+        left = self.compare()
+        if self.at_punct(":=", "=") or self.at_atom("is"):
+            op = self.next().text
+            right = self.compare()
+            # `=` and `is` are accepted as spellings of assignment; the
+            # paper itself uses both `:=` and `=` (Figure 2 Part A).
+            functor = ":=" if op in (":=", "=", "is") else op
+            return Struct(functor, (left, right))
+        return left
+
+    def compare(self) -> Term:
+        left = self.additive()
+        if self.at_punct(*_COMPARE_OPS):
+            op = self.next().text
+            right = self.additive()
+            return Struct(op, (left, right))
+        return left
+
+    def additive(self) -> Term:
+        left = self.multiplicative()
+        while self.at_punct(*_ADD_OPS):
+            op = self.next().text
+            right = self.multiplicative()
+            left = Struct(op, (left, right))
+        return left
+
+    def multiplicative(self) -> Term:
+        left = self.unary()
+        while self.at_punct(*(_MUL_OPS - {"mod"})) or self.at_atom("mod"):
+            op = self.next().text
+            right = self.unary()
+            left = Struct(op, (left, right))
+        return left
+
+    def unary(self) -> Term:
+        if self.at_punct("-"):
+            tok = self.next()
+            operand = self.unary()
+            if isinstance(operand, (int, float)):
+                return -operand
+            return Struct("-", (0, operand))
+        return self.primary()
+
+    def primary(self) -> Term:
+        tok = self.next()
+        if tok.kind == "int":
+            return int(tok.text)
+        if tok.kind == "float":
+            return float(tok.text)
+        if tok.kind == "string":
+            return tok.text
+        if tok.kind == "var":
+            if tok.text == "_":
+                return Var("_")  # each `_` is a distinct variable
+            var = self.varmap.get(tok.text)
+            if var is None:
+                var = Var(tok.text)
+                self.varmap[tok.text] = var
+            return var
+        if tok.kind == "atom":
+            if self.at_punct("("):
+                self.next()
+                args = [self.goal()]
+                while self.at_punct(","):
+                    self.next()
+                    args.append(self.goal())
+                self.expect(")")
+                return Struct(tok.text, args)
+            return Atom(tok.text)
+        if tok.kind == "punct":
+            if tok.text == "(":
+                inner = self.goal()
+                self.expect(")")
+                return inner
+            if tok.text == "[":
+                return self.list_tail()
+            if tok.text == "{":
+                if self.at_punct("}"):
+                    self.next()
+                    return Tup(())
+                args = [self.goal()]
+                while self.at_punct(","):
+                    self.next()
+                    args.append(self.goal())
+                self.expect("}")
+                return Tup(args)
+        raise ParseError(
+            f"unexpected token {tok.text!r} in {self.source_name}", tok.line, tok.column
+        )
+
+    def list_tail(self) -> Term:
+        if self.at_punct("]"):
+            self.next()
+            return NIL
+        items = [self.goal()]
+        while self.at_punct(","):
+            self.next()
+            items.append(self.goal())
+        tail: Term = NIL
+        if self.at_punct("|"):
+            self.next()
+            tail = self.goal()
+        self.expect("]")
+        result = tail
+        for item in reversed(items):
+            result = Cons(item, result)
+        return result
+
+
+def parse_program(source: str, name: str = "program") -> Program:
+    """Parse Strand source text into a :class:`Program`."""
+    return _Parser(tokenize(source), name).program(name)
+
+
+def parse_rule(source: str) -> Rule:
+    """Parse a single clause (ending with ``.``)."""
+    parser = _Parser(tokenize(source), "rule")
+    rule = parser.clause()
+    if parser.peek().kind != "eof":
+        raise parser.error("trailing input after rule")
+    return rule
+
+
+def parse_query(source: str) -> tuple[list[Term], dict[str, Var]]:
+    """Parse a comma-separated goal conjunction (no trailing ``.``).
+
+    Returns the goals plus the name→variable map, so callers can read
+    answer bindings after a run.
+    """
+    parser = _Parser(tokenize(source), "query")
+    goals = parser.goal_list()
+    if parser.peek().kind != "eof":
+        raise parser.error("trailing input after query")
+    return goals, dict(parser.varmap)
+
+
+def parse_term(source: str) -> Term:
+    """Parse a single term (no trailing ``.``); variable names share scope."""
+    parser = _Parser(tokenize(source), "term")
+    term = parser.goal()
+    if parser.peek().kind != "eof":
+        raise parser.error("trailing input after term")
+    return term

@@ -1,0 +1,221 @@
+"""Tokenizer for the Strand dialect.
+
+The concrete syntax follows the paper closely::
+
+    reduce(tree(V,L,R), Value) :-
+        reduce(R, RV) @ random,
+        reduce(L, LV),
+        eval(V, LV, RV, Value).
+    reduce(leaf(L), Value) :- Value := L.
+
+Lexical classes:
+
+* variables — identifiers starting with an uppercase letter or ``_``;
+* atoms — identifiers starting with a lowercase letter, or any text in
+  single quotes (``'+'``);
+* numbers — integers and floats, with optional leading ``-`` handled by the
+  parser as unary minus;
+* strings — double-quoted, with ``\\`` escapes;
+* punctuation and operators — see ``SYMBOLS`` below;
+* comments — ``%`` to end of line, and ``/* ... */`` block comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ParseError
+
+__all__ = ["Token", "tokenize"]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its 1-based source position."""
+
+    kind: str  # 'var' | 'atom' | 'int' | 'float' | 'string' | 'punct' | 'eof'
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind},{self.text!r}@{self.line}:{self.column})"
+
+
+# Multi-character symbols must be listed before their prefixes.
+SYMBOLS = [
+    ":-",
+    ":=",
+    "=<",
+    ">=",
+    "=\\=",
+    "=:=",
+    "==",
+    "\\==",
+    "=",
+    "<",
+    ">",
+    "|",
+    ",",
+    ".",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    "+",
+    "-",
+    "*",
+    "//",
+    "/",
+    "@",
+    "&",
+]
+
+_SYMBOLS_SORTED = sorted(SYMBOLS, key=len, reverse=True)
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize Strand source text into a token list ending with ``eof``.
+
+    Raises :class:`ParseError` on unterminated strings/comments or
+    unrecognized characters.
+    """
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    i = 0
+    n = len(source)
+    line = 1
+    line_start = 0
+
+    def col(pos: int) -> int:
+        return pos - line_start + 1
+
+    while i < n:
+        ch = source[i]
+        # Whitespace.
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        # Line comment.
+        if ch == "%":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        # Block comment.
+        if ch == "/" and i + 1 < n and source[i + 1] == "*":
+            start_line, start_col = line, col(i)
+            i += 2
+            while i < n and not (source[i] == "*" and i + 1 < n and source[i + 1] == "/"):
+                if source[i] == "\n":
+                    line += 1
+                    line_start = i + 1
+                i += 1
+            if i >= n:
+                raise ParseError("unterminated block comment", start_line, start_col)
+            i += 2
+            continue
+        # Numbers.
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            is_float = False
+            if i < n and source[i] == "." and i + 1 < n and source[i + 1].isdigit():
+                is_float = True
+                i += 1
+                while i < n and source[i].isdigit():
+                    i += 1
+            if i < n and source[i] in "eE" and (
+                (i + 1 < n and source[i + 1].isdigit())
+                or (i + 2 < n and source[i + 1] in "+-" and source[i + 2].isdigit())
+            ):
+                is_float = True
+                i += 1
+                if source[i] in "+-":
+                    i += 1
+                while i < n and source[i].isdigit():
+                    i += 1
+            text = source[start:i]
+            yield Token("float" if is_float else "int", text, line, col(start))
+            continue
+        # Identifiers: variables and atoms.
+        if _is_ident_start(ch):
+            start = i
+            while i < n and _is_ident(source[i]):
+                i += 1
+            text = source[start:i]
+            kind = "var" if (text[0].isupper() or text[0] == "_") else "atom"
+            yield Token(kind, text, line, col(start))
+            continue
+        # Quoted atoms.
+        if ch == "'":
+            start = i
+            start_line, start_col = line, col(i)
+            i += 1
+            chars: list[str] = []
+            while i < n and source[i] != "'":
+                if source[i] == "\\" and i + 1 < n:
+                    chars.append(_unescape(source[i + 1]))
+                    i += 2
+                    continue
+                if source[i] == "\n":
+                    line += 1
+                    line_start = i + 1
+                chars.append(source[i])
+                i += 1
+            if i >= n:
+                raise ParseError("unterminated quoted atom", start_line, start_col)
+            i += 1
+            yield Token("atom", "".join(chars), start_line, start_col)
+            continue
+        # Strings.
+        if ch == '"':
+            start_line, start_col = line, col(i)
+            i += 1
+            chars = []
+            while i < n and source[i] != '"':
+                if source[i] == "\\" and i + 1 < n:
+                    chars.append(_unescape(source[i + 1]))
+                    i += 2
+                    continue
+                if source[i] == "\n":
+                    line += 1
+                    line_start = i + 1
+                chars.append(source[i])
+                i += 1
+            if i >= n:
+                raise ParseError("unterminated string", start_line, start_col)
+            i += 1
+            yield Token("string", "".join(chars), start_line, start_col)
+            continue
+        # Symbols.
+        for sym in _SYMBOLS_SORTED:
+            if source.startswith(sym, i):
+                yield Token("punct", sym, line, col(i))
+                i += len(sym)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}", line, col(i))
+    yield Token("eof", "", line, col(i))
+
+
+def _unescape(ch: str) -> str:
+    return {"n": "\n", "t": "\t", "r": "\r", "\\": "\\", "'": "'", '"': '"'}.get(ch, ch)

@@ -1,0 +1,132 @@
+"""The argument-threading transformation (Server motif step 1–4 engine).
+
+``ThreadArgument`` generalizes the paper's Server transformation: given a
+set of *operation* indicators (``send/2``, ``nodes/1``, ``halt/0``) and a
+rewrite for each, it
+
+1. finds every procedure from which an operation call is reachable
+   (the call graph ancestors — paper step 1),
+2. appends one fresh variable (conventionally ``DT``) to those procedures'
+   heads,
+3. appends that variable to every call to an affected procedure, and
+4. replaces each operation call by its rewrite, which may mention the
+   threaded variable (paper steps 2–4).
+
+Only *top-level body goals* are calls; operation names appearing inside
+data terms (e.g. a ``reduce(T, V)`` message under ``send``) are data and
+are left untouched — this distinction is what makes the transformation
+compose correctly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.errors import TransformError
+from repro.strand.program import Program, Rule
+from repro.strand.terms import Struct, Term, Var
+from repro.transform.callgraph import CallGraph
+from repro.transform.rewrite import strip_placement, with_placement
+from repro.transform.transformation import Transformation
+
+__all__ = ["ThreadArgument", "OpRewriter"]
+
+#: Rewrites one operation call: ``(op_goal, threaded_var) -> goals``.
+OpRewriter = Callable[[Struct, Var], list[Term]]
+
+
+class ThreadArgument(Transformation):
+    """Thread a fresh argument through every procedure that (transitively)
+    calls one of ``ops``, rewriting the op calls themselves.
+
+    Parameters
+    ----------
+    ops:
+        ``indicator -> rewriter``.  The rewriter receives the (placement-
+        stripped) op goal and the rule's threaded variable, and returns the
+        replacement goal list.
+    var_hint:
+        Display name for the threaded variable.
+    also_thread:
+        Extra procedure indicators to thread even if the analysis does not
+        find an op call in them (used when a composed motif knows a
+        procedure will receive op calls later).
+    """
+
+    def __init__(
+        self,
+        ops: Mapping[tuple[str, int], OpRewriter],
+        var_hint: str = "DT",
+        also_thread: tuple[tuple[str, int], ...] = (),
+        name: str = "thread-argument",
+    ):
+        self.ops = dict(ops)
+        self.var_hint = var_hint
+        self.also_thread = tuple(also_thread)
+        self.name = name
+
+    def affected(self, program: Program) -> set[tuple[str, int]]:
+        """The procedures that will gain the threaded argument."""
+        graph = CallGraph(program)
+        for op in self.ops:
+            if op in graph.defined:
+                raise TransformError(
+                    f"operation {op[0]}/{op[1]} is also defined as a "
+                    f"procedure in {program.name!r}; refusing to thread"
+                )
+        affected = graph.callers_of(set(self.ops))
+        for extra in self.also_thread:
+            if extra in graph.defined:
+                affected.add(extra)
+        # Anything that calls an explicitly-threaded procedure must be
+        # threaded too, transitively.
+        affected |= graph.callers_of(set(affected)) if affected else set()
+        return affected & graph.defined
+
+    def apply(self, program: Program) -> Program:
+        affected = self.affected(program)
+        if not affected:
+            return program.copy()
+        # Arity-shift collision check: threading p/k to p/k+1 while a
+        # *different*, unthreaded procedure p/k+1 exists would silently
+        # merge the two.  (If p/k+1 is itself threaded, both shift and no
+        # merge occurs.)
+        defined = set(program.indicators)
+        for name, arity in affected:
+            shifted = (name, arity + 1)
+            if shifted in defined and shifted not in affected:
+                raise TransformError(
+                    f"threading {name}/{arity} would collide with the "
+                    f"existing procedure {name}/{arity + 1}; rename one"
+                )
+        out = Program(name=program.name)
+        for rule in program.rules():
+            out.add_rule(self._rewrite_rule(rule.rename(), affected))
+        return out
+
+    def _rewrite_rule(self, rule: Rule, affected: set[tuple[str, int]]) -> Rule:
+        if rule.indicator not in affected:
+            # An unaffected rule cannot call an affected procedure (it would
+            # then be affected itself), so it passes through unchanged.
+            return rule
+        dt = Var(self.var_hint)
+        head = Struct(rule.head.functor, (*rule.head.args, dt))
+        body: list[Term] = []
+        for goal in rule.body:
+            inner, where = strip_placement(goal)
+            indicator = inner.indicator
+            rewriter = self.ops.get(indicator)
+            if rewriter is not None:
+                if where is not None:
+                    raise TransformError(
+                        f"placement annotation on operation "
+                        f"{indicator[0]}/{indicator[1]} is not supported"
+                    )
+                body.extend(rewriter(inner, dt))
+                continue
+            if indicator in affected:
+                inner = Struct(inner.functor, (*inner.args, dt))
+                body.append(with_placement(inner, where))
+                continue
+            body.append(goal)
+        return Rule(head, rule.guards, body)

@@ -1,0 +1,53 @@
+"""Post-composition program optimization.
+
+Motif composition unions whole libraries, so the final program usually
+carries procedures the particular application never reaches (the unused
+halves of dual-interface libraries, dispatch rules for message types never
+sent, …).  ``prune_unreachable`` drops procedures not reachable from the
+declared entry points — useful before printing a composed program for
+study, and a worked example of a *post-processing* transformation (the
+paper's framework makes no distinction: it is just another ``T``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.strand.program import Program
+from repro.transform.callgraph import CallGraph
+from repro.transform.transformation import Transformation
+
+__all__ = ["prune_unreachable", "PruneUnreachable"]
+
+
+def prune_unreachable(
+    program: Program,
+    entries: Iterable[tuple[str, int]],
+    keep: Iterable[tuple[str, int]] = (),
+) -> Program:
+    """A copy of ``program`` containing only procedures reachable from
+    ``entries`` (plus ``keep``, for procedures invoked reflectively — e.g.
+    a ``server/2`` reached only through a library's spawn)."""
+    roots = set(entries) | set(keep)
+    graph = CallGraph(program)
+    reachable = graph.reachable_from(roots)
+    out = Program(name=program.name)
+    for proc in program:
+        if proc.indicator in reachable:
+            for rule in proc.rules:
+                out.add_rule(rule.rename())
+    return out
+
+
+class PruneUnreachable(Transformation):
+    """:func:`prune_unreachable` as a composable transformation."""
+
+    name = "prune-unreachable"
+
+    def __init__(self, entries: Iterable[tuple[str, int]],
+                 keep: Iterable[tuple[str, int]] = ()):
+        self.entries = tuple(entries)
+        self.keep = tuple(keep)
+
+    def apply(self, program: Program) -> Program:
+        return prune_unreachable(program, self.entries, self.keep)

@@ -1,0 +1,71 @@
+"""Transformation base classes.
+
+A transformation is a pure function ``Program -> Program``.  Composition is
+first-class because motif composition (paper §2.2) is transformation
+composition interleaved with library linking:
+
+    M₂ ∘ M₁ (A) = T₂( T₁(A) ∪ L₁ ) ∪ L₂
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+from repro.strand.program import Program
+
+__all__ = ["Transformation", "Identity", "Chain", "FunctionTransformation"]
+
+
+class Transformation(ABC):
+    """A source-to-source program transformation."""
+
+    name: str = "transformation"
+
+    @abstractmethod
+    def apply(self, program: Program) -> Program:
+        """Return the transformed program (the input is never mutated)."""
+
+    def __call__(self, program: Program) -> Program:
+        return self.apply(program)
+
+    def then(self, other: "Transformation") -> "Transformation":
+        """``other ∘ self`` — self first, then other."""
+        return Chain([self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Identity(Transformation):
+    """The identity transformation (used by library-only motifs such as
+    ``Tree1``, §3.4)."""
+
+    name = "identity"
+
+    def apply(self, program: Program) -> Program:
+        return program.copy()
+
+
+class Chain(Transformation):
+    """Sequential composition: transformations applied left to right."""
+
+    def __init__(self, steps: Sequence[Transformation]):
+        self.steps = list(steps)
+        self.name = "∘".join(reversed([s.name for s in self.steps])) or "identity"
+
+    def apply(self, program: Program) -> Program:
+        for step in self.steps:
+            program = step.apply(program)
+        return program
+
+
+class FunctionTransformation(Transformation):
+    """Wrap a plain function as a transformation."""
+
+    def __init__(self, fn: Callable[[Program], Program], name: str = "fn"):
+        self.fn = fn
+        self.name = name
+
+    def apply(self, program: Program) -> Program:
+        return self.fn(program.copy())

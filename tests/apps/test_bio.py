@@ -1,0 +1,299 @@
+"""Bio application tests: NW alignment, distances, UPGMA, align-node."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.bio import (
+    ALPHABET,
+    GAP,
+    align_cost,
+    align_node,
+    alignment_workload,
+    distance_matrix,
+    generate_family,
+    guide_tree,
+    jukes_cantor,
+    needleman_wunsch,
+    pairwise_identity,
+    profile_width,
+    sum_of_pairs,
+    upgma,
+)
+from repro.apps.trees import Leaf, Node, leaf_count
+from repro.errors import ReproError
+
+_seq = st.text(alphabet=ALPHABET, min_size=1, max_size=20)
+
+
+class TestNeedlemanWunsch:
+    def test_identical_sequences(self):
+        a, b, score = needleman_wunsch("ACGU", "ACGU")
+        assert a == b == "ACGU"
+        assert score == 8.0  # 4 matches * 2
+
+    def test_gap_insertion(self):
+        a, b, _ = needleman_wunsch("ACGU", "AGU")
+        assert len(a) == len(b)
+        assert a.replace(GAP, "") == "ACGU"
+        assert b.replace(GAP, "") == "AGU"
+
+    def test_empty_vs_sequence(self):
+        a, b, score = needleman_wunsch("", "ACG")
+        assert a == GAP * 3
+        assert b == "ACG"
+        assert score == 3 * -2.0
+
+    @given(_seq, _seq)
+    @settings(max_examples=40, deadline=None)
+    def test_alignment_preserves_sequences(self, x, y):
+        a, b, _ = needleman_wunsch(x, y)
+        assert len(a) == len(b)
+        assert a.replace(GAP, "") == x
+        assert b.replace(GAP, "") == y
+
+    @given(_seq, _seq)
+    @settings(max_examples=25, deadline=None)
+    def test_score_symmetric(self, x, y):
+        _, _, s1 = needleman_wunsch(x, y)
+        _, _, s2 = needleman_wunsch(y, x)
+        assert math.isclose(s1, s2)
+
+    def test_identity_measures(self):
+        assert pairwise_identity("ACGU", "ACGU") == 1.0
+        assert pairwise_identity("AAAA", "CCCC") == 0.0
+
+
+class TestDistances:
+    def test_jukes_cantor_zero(self):
+        assert jukes_cantor(0.0) == 0.0
+
+    def test_jukes_cantor_monotone(self):
+        values = [jukes_cantor(p) for p in (0.0, 0.1, 0.3, 0.5, 0.7)]
+        assert values == sorted(values)
+
+    def test_jukes_cantor_saturates(self):
+        assert math.isfinite(jukes_cantor(0.9))
+
+    def test_matrix_symmetric_zero_diagonal(self):
+        seqs = ["ACGUACGU", "ACGAACGU", "UUUGACGG"]
+        d = distance_matrix(seqs)
+        for i in range(3):
+            assert d[i][i] == 0.0
+            for j in range(3):
+                assert d[i][j] == pytest.approx(d[j][i])
+
+    def test_closer_sequences_smaller_distance(self):
+        seqs = ["ACGUACGUACGU", "ACGUACGUACGA", "GGCAUUACCGGA"]
+        d = distance_matrix(seqs)
+        assert d[0][1] < d[0][2]
+
+
+class TestUPGMA:
+    def test_joins_closest_first(self):
+        labels = ["a", "b", "c"]
+        d = [[0.0, 0.1, 0.9], [0.1, 0.0, 0.9], [0.9, 0.9, 0.0]]
+        tree = upgma(d, labels)
+        assert isinstance(tree, Node)
+        # a and b cluster first; c joins at the root.
+        sub = tree.left if isinstance(tree.left, Node) else tree.right
+        leaves = {sub.left.value, sub.right.value}
+        assert leaves == {"a", "b"}
+
+    def test_leaf_count_preserved(self):
+        n = 7
+        d = [[abs(i - j) * 0.1 for j in range(n)] for i in range(n)]
+        tree = upgma(d, list(range(n)))
+        assert leaf_count(tree) == n
+
+    def test_single_label(self):
+        tree = upgma([[0.0]], ["only"])
+        assert tree == Leaf("only")
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            upgma([[0.0, 1.0]], ["a", "b"])
+
+
+class TestFamilyGeneration:
+    def test_family_shape(self):
+        family = generate_family(6, root_length=30, seed=1)
+        assert len(family.sequences) == 6
+        assert len(family.names) == 6
+        assert leaf_count(family.true_tree) == 6
+
+    def test_sequences_are_rna(self):
+        family = generate_family(4, root_length=50, seed=2)
+        for seq in family.sequences:
+            assert seq
+            assert set(seq) <= set(ALPHABET)
+
+    def test_determinism(self):
+        a = generate_family(5, seed=9).sequences
+        b = generate_family(5, seed=9).sequences
+        assert a == b
+
+    def test_needs_two(self):
+        with pytest.raises(ReproError):
+            generate_family(1)
+
+    def test_related_sequences_similar(self):
+        family = generate_family(4, root_length=60, mutation_rate=0.03, seed=3)
+        # All family members descend from one ancestor: identities well
+        # above the ~25% random-baseline.
+        for i in range(1, 4):
+            assert pairwise_identity(family.sequences[0],
+                                     family.sequences[i]) > 0.5
+
+
+class TestAlignNode:
+    def test_merges_profiles(self):
+        merged = align_node("align", ["ACGU"], ["ACGA"])
+        assert len(merged) == 2
+        assert profile_width(merged) >= 4
+
+    def test_rows_preserve_sequences(self):
+        left = ["AC-GU", "ACAGU"]
+        right = ["AGGU"]
+        merged = align_node("align", left, right)
+        assert merged[0].replace(GAP, "") == "ACGU"
+        assert merged[1].replace(GAP, "") == "ACAGU"
+        assert merged[2].replace(GAP, "") == "AGGU"
+
+    def test_result_is_rectangular(self):
+        merged = align_node("align", ["ACG"], ["AUUUCG"])
+        profile_width(merged)  # raises if ragged
+
+    def test_cost_grows_with_size(self):
+        small = align_cost("align", ["ACGU"], ["ACGU"])
+        large = align_cost("align", ["ACGU" * 10] * 3, ["ACGU" * 10] * 3)
+        assert large > small
+
+    def test_ragged_profile_rejected(self):
+        with pytest.raises(ReproError):
+            profile_width(["AB", "A"])
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ReproError):
+            profile_width([])
+
+
+class TestWorkload:
+    def test_guide_tree_leaves_are_profiles(self):
+        family, tree = alignment_workload(n_sequences=5, root_length=20, seed=4)
+        assert leaf_count(tree) == 5
+        stack = [tree]
+        profiles = []
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Leaf):
+                profiles.append(node.value)
+            else:
+                stack.extend([node.left, node.right])
+        flattened = sorted(p[0] for p in profiles)
+        assert flattened == sorted(family.sequences)
+
+    def test_sum_of_pairs_scores_alignment(self):
+        good = sum_of_pairs(["ACGU", "ACGU"])
+        bad = sum_of_pairs(["AAAA", "CCCC"])
+        assert good > bad
+
+    def test_guide_tree_reduction_gives_full_alignment(self):
+        from repro.apps.bio import align_node
+        from repro.apps.trees import sequential_reduce
+
+        family, tree = alignment_workload(n_sequences=6, root_length=25, seed=5)
+        alignment = sequential_reduce(tree, align_node)
+        assert len(alignment) == 6
+        assert sorted(r.replace(GAP, "") for r in alignment) == sorted(
+            family.sequences
+        )
+
+
+class TestNeighborJoining:
+    def test_single_and_pair(self):
+        from repro.apps.bio import neighbor_joining
+
+        assert neighbor_joining([[0.0]], ["a"]) == Leaf("a")
+        t = neighbor_joining([[0, 1], [1, 0]], ["a", "b"])
+        assert {t.left.value, t.right.value} == {"a", "b"}
+
+    def test_additive_matrix_recovers_topology(self):
+        from repro.apps.bio import neighbor_joining, robinson_foulds
+
+        # Tree ((a,b),(c,d)) with branch lengths: path distances are additive.
+        #   a-b: 2, a-c: 6, a-d: 7, b-c: 6, b-d: 7, c-d: 3
+        d = [
+            [0, 2, 6, 7],
+            [2, 0, 6, 7],
+            [6, 6, 0, 3],
+            [7, 7, 3, 0],
+        ]
+        tree = neighbor_joining(d, ["a", "b", "c", "d"])
+        expected = Node("align", Node("align", Leaf("a"), Leaf("b")),
+                        Node("align", Leaf("c"), Leaf("d")))
+        assert robinson_foulds(tree, expected) == 0
+
+    def test_shape_mismatch_rejected(self):
+        from repro.apps.bio import neighbor_joining
+
+        with pytest.raises(ReproError):
+            neighbor_joining([[0.0, 1.0]], ["a", "b"])
+
+    def test_nj_guide_tree_has_all_sequences(self):
+        from repro.apps.bio import guide_tree_nj
+
+        family = generate_family(6, root_length=30, seed=9)
+        tree = guide_tree_nj(family)
+        assert leaf_count(tree) == 6
+
+
+class TestRobinsonFoulds:
+    def test_identity_is_zero(self):
+        from repro.apps.bio import robinson_foulds
+
+        t = Node("x", Node("x", Leaf("a"), Leaf("b")), Leaf("c"))
+        assert robinson_foulds(t, t) == 0
+
+    def test_rooted_rotation_is_zero(self):
+        # RF compares unrooted topologies: swapping children changes nothing.
+        from repro.apps.bio import robinson_foulds
+
+        t1 = Node("x", Node("x", Leaf("a"), Leaf("b")),
+                  Node("x", Leaf("c"), Leaf("d")))
+        t2 = Node("x", Node("x", Leaf("d"), Leaf("c")),
+                  Node("x", Leaf("b"), Leaf("a")))
+        assert robinson_foulds(t1, t2) == 0
+
+    def test_different_topologies_positive(self):
+        from repro.apps.bio import robinson_foulds
+
+        t1 = Node("x", Node("x", Leaf("a"), Leaf("b")),
+                  Node("x", Leaf("c"), Leaf("d")))
+        t2 = Node("x", Node("x", Leaf("a"), Leaf("c")),
+                  Node("x", Leaf("b"), Leaf("d")))
+        assert robinson_foulds(t1, t2) > 0
+
+    def test_leaf_set_mismatch_rejected(self):
+        from repro.apps.bio import robinson_foulds
+
+        with pytest.raises(ReproError):
+            robinson_foulds(Leaf("a"), Leaf("b"))
+
+    def test_guide_trees_recover_low_divergence_phylogeny(self):
+        """With a gentle mutation rate, both UPGMA and NJ should land close
+        to (usually exactly on) the generating topology."""
+        from repro.apps.bio import (
+            guide_tree,
+            guide_tree_nj,
+            relabel_with_names,
+            robinson_foulds,
+        )
+
+        family = generate_family(8, root_length=60, mutation_rate=0.05, seed=4)
+        max_rf = 2 * (8 - 3)  # all internal splits differ
+        for builder in (guide_tree, guide_tree_nj):
+            tree = relabel_with_names(builder(family), family)
+            rf = robinson_foulds(tree, family.true_tree)
+            assert rf <= max_rf // 2

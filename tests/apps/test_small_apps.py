@@ -1,0 +1,188 @@
+"""Tests for the smaller application modules: arithmetic, queens, sorting,
+grid, taskbag."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.arithmetic import (
+    EVAL_SOURCE,
+    arithmetic_tree,
+    eval_arith_node,
+    heavy_tailed_cost,
+    make_cost_model,
+    paper_example_tree,
+    paper_example_value,
+    uniform_cost,
+)
+from repro.apps.gridapp import (
+    EDGE_VALUE,
+    jacobi_reference,
+    join_strips,
+    make_grid,
+    split_strips,
+    sweep,
+    top_row,
+    bottom_row,
+)
+from repro.apps.queens import (
+    KNOWN_COUNTS,
+    count_solutions_sequential,
+    expand,
+    root_node,
+    solution,
+)
+from repro.apps.sorting import halve, merge_sorted, random_list, sort_seq
+from repro.apps.taskbag import expected_sum, skewed_cost, work
+from repro.apps.trees import leaf_count, sequential_reduce
+from repro.errors import ReproError
+from repro.strand.terms import Atom
+
+
+class TestArithmetic:
+    def test_paper_example(self):
+        assert sequential_reduce(paper_example_tree(), eval_arith_node) == \
+            paper_example_value
+
+    def test_eval_source_parses(self):
+        from repro.strand.parser import parse_program
+
+        assert ("eval", 4) in parse_program(EVAL_SOURCE)
+
+    def test_eval_arith_node_ops(self):
+        assert eval_arith_node("add", 2, 3) == 5
+        assert eval_arith_node("mul", 2, 3) == 6
+        assert eval_arith_node("sub", 5, 3) == 2
+        assert eval_arith_node("mx", 2, 7) == 7
+        assert eval_arith_node(Atom("add"), 1, 1) == 2
+        with pytest.raises(ValueError):
+            eval_arith_node("frob", 1, 1)
+
+    def test_tree_shapes(self):
+        for shape in ("random", "balanced", "skewed"):
+            tree = arithmetic_tree(8, seed=1, shape=shape)
+            assert leaf_count(tree) >= 8 or shape == "balanced"
+        with pytest.raises(ValueError):
+            arithmetic_tree(8, shape="mobius")
+
+    def test_uniform_cost(self):
+        model = uniform_cost(7.0)
+        assert model("add", 1, 2) == 7.0
+
+    def test_heavy_tailed_cost_deterministic_by_inputs(self):
+        model = heavy_tailed_cost(seed=3)
+        assert model("add", 10, 20) == model("add", 10, 20)
+
+    def test_heavy_tailed_has_both_levels(self):
+        model = heavy_tailed_cost(base=1.0, spike=100.0,
+                                  spike_probability=0.3, seed=0)
+        costs = {model("add", i, i + 1) for i in range(200)}
+        assert costs == {1.0, 100.0}
+
+    def test_make_cost_model(self):
+        assert make_cost_model("uniform")("a", 1, 2) == 10.0
+        assert callable(make_cost_model("heavy"))
+        with pytest.raises(ValueError):
+            make_cost_model("quadratic")
+
+
+class TestQueens:
+    def test_expand_respects_safety(self):
+        children = expand([4])
+        assert len(children) == 4  # first row: any column
+        children = expand([4, 0])
+        # second row cannot use column 0 or 1.
+        assert [c[-1] for c in children] == [2, 3]
+
+    def test_expand_full_board_empty(self):
+        assert expand([2, 0, 1]) == []  # wait: n=2, 2 cols placed
+
+    def test_solution_flag(self):
+        assert solution([2, 0, 1]) == 1  # complete (if unsafe it wouldn't be generated)
+        assert solution([4, 0]) == 0
+
+    @pytest.mark.parametrize("n,count", sorted(KNOWN_COUNTS.items())[:8])
+    def test_known_counts(self, n, count):
+        assert count_solutions_sequential(n) == count
+
+    def test_root_node(self):
+        assert root_node(5) == [5]
+
+
+class TestSorting:
+    def test_halve(self):
+        assert halve([1, 2, 3, 4, 5]) == ([1, 2], [3, 4, 5])
+        assert halve([]) == ([], [])
+
+    @given(st.lists(st.integers(), max_size=50), st.lists(st.integers(), max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_merge_sorted_property(self, a, b):
+        a, b = sorted(a), sorted(b)
+        assert merge_sorted(a, b) == sorted(a + b)
+
+    def test_sort_seq(self):
+        xs = random_list(30, seed=2)
+        assert sort_seq(xs) == sorted(xs)
+
+    def test_random_list_deterministic(self):
+        assert random_list(10, seed=4) == random_list(10, seed=4)
+
+
+class TestGridApp:
+    def test_make_grid_has_hot_patch(self):
+        grid = make_grid(9, 9, hot=50.0)
+        flat = [v for row in grid for v in row]
+        assert max(flat) == 50.0
+        assert min(flat) == 0.0
+
+    def test_split_join_roundtrip(self):
+        grid = make_grid(10, 4)
+        assert join_strips(split_strips(grid, 3)) == grid
+
+    def test_split_sizes_balanced(self):
+        strips = split_strips(make_grid(10, 4), 3)
+        sizes = [len(s) for s in strips]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_split_too_many_workers(self):
+        with pytest.raises(ReproError):
+            split_strips(make_grid(3, 3), 5)
+
+    def test_rows(self):
+        strip = [[1.0, 2.0], [3.0, 4.0]]
+        assert top_row(strip) == [1.0, 2.0]
+        assert bottom_row(strip) == [3.0, 4.0]
+
+    def test_sweep_matches_reference_single_strip(self):
+        grid = make_grid(6, 5)
+        swept = sweep(grid, Atom("edge"), Atom("edge"))
+        assert np.allclose(swept, jacobi_reference(grid, 1))
+
+    def test_sweep_uses_neighbour_rows(self):
+        strip = [[0.0, 0.0, 0.0]]
+        above = [4.0, 4.0, 4.0]
+        below = [8.0, 8.0, 8.0]
+        swept = sweep(strip, above, below)
+        assert swept[0][1] == pytest.approx((4.0 + 8.0 + 0.0 + 0.0) / 4.0)
+
+    def test_reference_converges_toward_boundary(self):
+        grid = make_grid(8, 8, hot=100.0)
+        late = jacobi_reference(grid, 200)
+        assert max(v for row in late for v in row) < 1.0 + EDGE_VALUE
+
+
+class TestTaskbag:
+    def test_work_and_expected_sum(self):
+        assert work(4) == 16
+        assert expected_sum(3) == 1 + 4 + 9
+
+    def test_skewed_cost_levels(self):
+        model = skewed_cost(base=2.0, spike=50.0, spike_probability=0.5, seed=1)
+        costs = {model(i) for i in range(100)}
+        assert costs == {2.0, 50.0}
+
+    def test_skewed_cost_deterministic(self):
+        a = skewed_cost(seed=2)
+        b = skewed_cost(seed=2)
+        assert [a(i) for i in range(20)] == [b(i) for i in range(20)]

@@ -1,0 +1,169 @@
+"""Tree construction, conversion, and Tree-Reduce-2 labeling tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.trees import (
+    Leaf,
+    Node,
+    balanced_tree,
+    label_table,
+    leaf_count,
+    random_tree,
+    sequential_reduce,
+    skewed_tree,
+    tree_depth,
+    tree_from_term,
+    tree_size,
+    tree_term,
+)
+from repro.errors import ReproError
+from repro.strand.terms import Struct, Tup, deref
+
+
+def small_tree():
+    return Node("add", Leaf(1), Node("mul", Leaf(2), Leaf(3)))
+
+
+class TestConstruction:
+    def test_tree_term_shape(self):
+        term = tree_term(small_tree())
+        assert isinstance(term, Struct)
+        assert term.indicator == ("tree", 3)
+        assert deref(term.args[1]).indicator == ("leaf", 1)
+
+    def test_roundtrip(self):
+        tree = small_tree()
+        assert tree_from_term(tree_term(tree)) == tree
+
+    def test_sizes(self):
+        tree = small_tree()
+        assert tree_size(tree) == 5
+        assert leaf_count(tree) == 3
+        assert tree_depth(tree) == 2
+
+    def test_sequential_reduce(self):
+        value = sequential_reduce(small_tree(),
+                                  lambda op, l, r: l + r if op == "add" else l * r)
+        assert value == 7
+
+    def test_sequential_reduce_deep_tree(self):
+        # A 3000-leaf left spine would blow the recursion limit if the fold
+        # were recursive.
+        tree = skewed_tree(3000, lambda r: "add", lambda r: 1)
+        assert sequential_reduce(tree, lambda op, l, r: l + r) == 3000
+
+
+class TestGenerators:
+    def test_random_tree_leaf_count(self):
+        for n in (1, 2, 7, 30):
+            tree = random_tree(n, lambda r: "op", lambda r: 0)
+            assert leaf_count(tree) == n
+
+    def test_random_tree_needs_leaf(self):
+        with pytest.raises(ReproError):
+            random_tree(0, lambda r: "op", lambda r: 0)
+
+    def test_balanced_tree(self):
+        tree = balanced_tree(4, lambda r: "op", lambda r: 0)
+        assert leaf_count(tree) == 16
+        assert tree_depth(tree) == 4
+
+    def test_skewed_tree_depth(self):
+        tree = skewed_tree(10, lambda r: "op", lambda r: 0)
+        assert leaf_count(tree) == 10
+        assert tree_depth(tree) == 9
+
+    def test_determinism(self):
+        a = random_tree(9, lambda r: r.choice("ab"), lambda r: r.randint(0, 9),
+                        random.Random(5))
+        b = random_tree(9, lambda r: r.choice("ab"), lambda r: r.randint(0, 9),
+                        random.Random(5))
+        assert a == b
+
+
+class TestLabelTable:
+    def entries(self, tree, processors=4, seed=0):
+        entries, table = label_table(tree, processors, random.Random(seed))
+        return entries, table
+
+    def test_single_leaf_rejected(self):
+        with pytest.raises(ReproError):
+            label_table(Leaf(1), 4)
+
+    def test_table_covers_all_nodes(self):
+        tree = random_tree(8, lambda r: "add", lambda r: 1)
+        entries, table = self.entries(tree)
+        assert len(entries) == tree_size(tree)
+        assert isinstance(table, Tup)
+        assert table.arity == tree_size(tree)
+
+    def test_exactly_one_root(self):
+        tree = random_tree(6, lambda r: "add", lambda r: 1)
+        entries, _ = self.entries(tree)
+        roots = [e for e in entries if e.parent == -1]
+        assert len(roots) == 1
+        assert roots[0].kind == "op"
+        assert roots[0].side == "none"
+
+    def test_parent_label_consistency(self):
+        # Each entry's parent_label equals its parent's own label.
+        tree = random_tree(12, lambda r: "add", lambda r: 1)
+        entries, _ = self.entries(tree, seed=3)
+        by_id = {i + 1: e for i, e in enumerate(entries)}
+        for e in entries:
+            if e.parent != -1:
+                assert e.parent_label == by_id[e.parent].label
+
+    def test_internal_label_is_left_childs(self):
+        tree = random_tree(12, lambda r: "add", lambda r: 1)
+        entries, _ = self.entries(tree, seed=7)
+        by_id = {i + 1: e for i, e in enumerate(entries)}
+        children = {}
+        for nid, e in by_id.items():
+            if e.parent != -1:
+                children.setdefault(e.parent, {})[e.side] = nid
+        for parent, kids in children.items():
+            assert by_id[parent].label == by_id[kids["left"]].label
+
+    def test_sibling_leaves_share_label(self):
+        tree = random_tree(16, lambda r: "add", lambda r: 1)
+        entries, _ = self.entries(tree, seed=2)
+        by_id = {i + 1: e for i, e in enumerate(entries)}
+        pairs = {}
+        for nid, e in by_id.items():
+            if e.parent != -1:
+                pairs.setdefault(e.parent, []).append(nid)
+        for kids in pairs.values():
+            if all(by_id[k].kind == "leaf" for k in kids):
+                labels = {by_id[k].label for k in kids}
+                assert len(labels) == 1
+
+    def test_labels_in_processor_range(self):
+        tree = random_tree(20, lambda r: "add", lambda r: 1)
+        entries, _ = self.entries(tree, processors=3, seed=9)
+        assert all(1 <= e.label <= 3 for e in entries)
+
+    @given(
+        leaves=st.integers(2, 25),
+        processors=st.integers(1, 8),
+        seed=st.integers(0, 10**6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_labeling_invariants_property(self, leaves, processors, seed):
+        tree = random_tree(leaves, lambda r: "add", lambda r: 1,
+                           random.Random(seed))
+        entries, table = label_table(tree, processors, random.Random(seed))
+        by_id = {i + 1: e for i, e in enumerate(entries)}
+        assert table.arity == 2 * leaves - 1
+        for e in entries:
+            assert 1 <= e.label <= processors
+            if e.parent == -1:
+                assert e.side == "none"
+            else:
+                parent = by_id[e.parent]
+                assert parent.kind == "op"
+                assert e.parent_label == parent.label
+                assert e.side in ("left", "right")

@@ -1,0 +1,42 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+from repro.machine import Machine
+from repro.strand import Program, parse_program, run_query
+from repro.strand.engine import QueryResult
+
+FIGURE1_SOURCE = """
+go(N) :- producer(N, Xs, sync), consumer(Xs).
+producer(N, Xs, _Sync) :- N > 0 |
+    Xs := [X | Xs1],
+    N1 := N - 1,
+    producer(N1, Xs1, X).
+producer(0, Xs, _) :- Xs := [].
+consumer([X | Xs]) :- X := sync, consumer(Xs).
+consumer([]).
+"""
+
+ARITH_EVAL_SOURCE = """
+eval(add, L, R, Value) :- Value := L + R.
+eval(mul, L, R, Value) :- Value := L * R.
+"""
+
+SEQ_REDUCE_SOURCE = (
+    ARITH_EVAL_SOURCE
+    + """
+reduce(tree(V, L, R), Value) :-
+    reduce(L, LV),
+    reduce(R, RV),
+    eval(V, LV, RV, Value).
+reduce(leaf(X), Value) :- Value := X.
+"""
+)
+
+
+def run(source: str, query: str, processors: int = 1, seed: int = 0,
+        **kw) -> QueryResult:
+    """Parse + run in one call."""
+    program = parse_program(source)
+    machine = Machine(processors, seed=seed)
+    return run_query(program, query, machine=machine, **kw)

@@ -1,0 +1,85 @@
+"""Branch-and-bound motif tests (knapsack)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.knapsack import (
+    KnapsackProblem,
+    random_knapsack,
+    register_knapsack,
+    root_node,
+    solve_reference,
+)
+from repro.core.api import run_applied
+from repro.errors import ReproError
+from repro.machine import Machine
+from repro.motifs.bnb import bnb_stack
+from repro.strand.foreign import from_python
+from repro.strand.program import Program
+from repro.strand.terms import Struct, Var, deref
+
+
+def run_bnb(problem, processors=4, seed=1, prune=True):
+    applied = bnb_stack().apply(Program(name="knapsack"))
+    applied.foreign_setup.append(
+        lambda reg: register_knapsack(reg, problem, prune=prune)
+    )
+    applied.user_names.update({"bound_bb", "leaf_bb", "value_bb", "expand_bb"})
+    sol = Var("Sol")
+    goal = Struct("create", (processors,
+                             Struct("binit", (from_python(root_node()), sol))))
+    _, metrics = run_applied(applied, goal, Machine(processors, seed=seed),
+                             watched=[("step", 5)])
+    return deref(sol), metrics
+
+
+class TestKnapsackApp:
+    def test_reference_solver(self):
+        problem = KnapsackProblem((6, 5, 4), (3, 2, 4), 5)
+        assert solve_reference(problem) == 11  # items 0+1
+
+    def test_reference_zero_capacity_items(self):
+        problem = KnapsackProblem((10,), (20,), 5)
+        assert solve_reference(problem) == 0
+
+    def test_random_instances_sorted_by_density(self):
+        problem = random_knapsack(10, seed=3)
+        densities = [v / w for v, w in zip(problem.values, problem.weights)]
+        assert densities == sorted(densities, reverse=True)
+
+    def test_invalid_instances_rejected(self):
+        with pytest.raises(ReproError):
+            KnapsackProblem((1, 2), (1,), 5)
+        with pytest.raises(ReproError):
+            KnapsackProblem((1,), (0,), 5)
+
+
+class TestBranchAndBound:
+    def test_finds_optimum(self):
+        problem = random_knapsack(10, seed=2)
+        best, _ = run_bnb(problem)
+        assert best == solve_reference(problem)
+
+    def test_single_processor(self):
+        problem = random_knapsack(8, seed=5)
+        best, _ = run_bnb(problem, processors=1)
+        assert best == solve_reference(problem)
+
+    def test_no_prune_ablation_also_correct(self):
+        problem = random_knapsack(8, seed=7)
+        best, _ = run_bnb(problem, prune=False)
+        assert best == solve_reference(problem)
+
+    def test_pruning_reduces_explored_nodes(self):
+        problem = random_knapsack(11, seed=4)
+        _, pruned = run_bnb(problem, prune=True)
+        _, full = run_bnb(problem, prune=False)
+        assert pruned.tasks_started < full.tasks_started
+
+    @given(items=st.integers(3, 9), seed=st.integers(0, 500),
+           processors=st.integers(1, 5))
+    @settings(max_examples=12, deadline=None)
+    def test_optimum_property(self, items, seed, processors):
+        problem = random_knapsack(items, seed=seed)
+        best, _ = run_bnb(problem, processors=processors, seed=seed)
+        assert best == solve_reference(problem)

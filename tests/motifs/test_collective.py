@@ -1,0 +1,125 @@
+"""Collective (allreduce) motif tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.api import run_applied
+from repro.errors import MotifError
+from repro.machine import Machine
+from repro.motifs.collective import (
+    SUM_OP,
+    allreduce_goals,
+    central_reduce_goals,
+    collective_motif,
+)
+from repro.strand.parser import parse_program
+from repro.strand.program import Program
+from repro.strand.terms import deref
+
+
+def run_allreduce(values, topology="full", op_rules=SUM_OP):
+    applied = collective_motif().apply(parse_program(op_rules, name="app"))
+    goals, results = allreduce_goals(values)
+    machine = Machine(len(values), topology=topology)
+    _, metrics = run_applied(applied, goals, machine)
+    return [deref(r) for r in results], metrics
+
+
+def run_central(values, topology="full", op_rules=SUM_OP):
+    applied = collective_motif().apply(parse_program(op_rules, name="app"))
+    goals, total, dones = central_reduce_goals(values)
+    machine = Machine(len(values), topology=topology)
+    _, metrics = run_applied(applied, goals, machine)
+    return deref(total), [deref(d) for d in dones], metrics
+
+
+class TestAllreduce:
+    def test_sum(self):
+        results, _ = run_allreduce([3, 1, 4, 1, 5, 9, 2, 6])
+        assert results == [31] * 8
+
+    def test_single_processor(self):
+        results, _ = run_allreduce([7])
+        assert results == [7]
+
+    def test_two_processors(self):
+        results, _ = run_allreduce([5, 8])
+        assert results == [13, 13]
+
+    def test_power_of_two_required(self):
+        with pytest.raises(MotifError):
+            allreduce_goals([1, 2, 3])
+
+    def test_custom_operator(self):
+        rules = ("cop(A, B, C) :- A >= B | C := A.\n"
+                 "cop(A, B, C) :- A < B | C := B.\n")
+        results, _ = run_allreduce([4, 9, 2, 7], op_rules=rules)
+        assert results == [9] * 4
+
+    def test_foreign_operator(self):
+        applied = collective_motif().apply(Program(name="app"))
+        applied.foreign_setup.append(
+            lambda reg: reg.register("cop", 3, lambda a, b: a * b, cost=2.0)
+        )
+        applied.user_names.add("cop")
+        goals, results = allreduce_goals([1, 2, 3, 4])
+        run_applied(applied, goals, Machine(4))
+        assert [deref(r) for r in results] == [24] * 4
+
+    @given(st.integers(0, 4), st.integers(0, 10**4))
+    @settings(max_examples=15, deadline=None)
+    def test_allreduce_equals_fold(self, log_p, seed):
+        import random
+
+        rng = random.Random(seed)
+        values = [rng.randint(-50, 50) for _ in range(1 << log_p)]
+        results, _ = run_allreduce(values)
+        assert results == [sum(values)] * len(values)
+
+    def test_every_processor_participates(self):
+        _, metrics = run_allreduce(list(range(8)), topology="hypercube")
+        assert all(b > 0 for b in metrics.busy)
+
+
+class TestCentralReduce:
+    def test_total_and_broadcast(self):
+        total, dones, _ = run_central([3, 1, 4, 1, 5])
+        assert total == 14
+        assert len(dones) == 5
+
+    def test_single_value(self):
+        total, _, _ = run_central([42])
+        assert total == 42
+
+    def test_non_power_of_two_supported(self):
+        total, _, _ = run_central(list(range(7)))
+        assert total == 21
+
+
+class TestLatencyShape:
+    def test_doubling_beats_central_at_scale(self):
+        """O(log P) rounds vs the O(P) fold chain (E15's shape)."""
+
+        def with_cost(plan, P):
+            applied = collective_motif().apply(Program(name="app"))
+            applied.foreign_setup.append(
+                lambda reg: reg.register("cop", 3, lambda a, b: a + b, cost=8.0)
+            )
+            applied.user_names.add("cop")
+            values = list(range(P))
+            if plan == "doubling":
+                goals, results = allreduce_goals(values)
+                _, m = run_applied(applied, goals,
+                                   Machine(P, topology="hypercube"))
+                assert [deref(r) for r in results] == [sum(values)] * P
+            else:
+                goals, total, _ = central_reduce_goals(values)
+                _, m = run_applied(applied, goals,
+                                   Machine(P, topology="hypercube"))
+                assert deref(total) == sum(values)
+            return m.makespan
+
+        ratio_16 = with_cost("central", 16) / with_cost("doubling", 16)
+        ratio_64 = with_cost("central", 64) / with_cost("doubling", 64)
+        assert ratio_16 > 1.5
+        assert ratio_64 > ratio_16  # the gap widens with the machine

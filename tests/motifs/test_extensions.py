@@ -1,0 +1,312 @@
+"""Tests for the §4 future-work motifs: farm, pipeline, dnc, search, sort,
+grid."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.gridapp import (
+    jacobi_reference,
+    join_strips,
+    make_grid,
+    register_grid,
+    split_strips,
+)
+from repro.apps.queens import (
+    KNOWN_COUNTS,
+    count_solutions_sequential,
+    register_queens,
+    root_node,
+)
+from repro.apps.sorting import merge_sorted, random_list, register_sorting
+from repro.core.api import run_applied
+from repro.errors import MotifError
+from repro.machine import Machine
+from repro.motifs.dnc import dnc_stack
+from repro.motifs.farm import farm_stack
+from repro.motifs.grid import grid_goals, grid_motif
+from repro.motifs.pipeline import pipeline_library_source, pipeline_motif
+from repro.motifs.search import search_stack
+from repro.motifs.sort import sort_stack
+from repro.strand.foreign import from_python, to_python
+from repro.strand.parser import parse_program
+from repro.strand.program import Program
+from repro.strand.terms import Struct, Var, deref
+
+
+def empty_app(name):
+    return Program(name=name)
+
+
+class TestFarm:
+    def run_farm(self, items, processors=4, seed=0, fn=lambda x: x * x):
+        applied = farm_stack(worker="f").apply(empty_app("farm"))
+        applied.foreign_setup.append(
+            lambda reg: reg.register("f", 2, fn, cost=4.0)
+        )
+        applied.user_names.add("f")
+        ys = Var("Ys")
+        goal = Struct(
+            "create",
+            (processors, Struct("boot", (from_python(items), ys, Var("D")))),
+        )
+        _, metrics = run_applied(applied, goal, Machine(processors, seed=seed))
+        return to_python(ys), metrics
+
+    def test_maps_in_order(self):
+        values, _ = self.run_farm(list(range(12)))
+        assert values == [x * x for x in range(12)]
+
+    def test_empty_input(self):
+        values, _ = self.run_farm([])
+        assert values == []
+
+    def test_single_item(self):
+        values, _ = self.run_farm([5])
+        assert values == [25]
+
+    def test_spreads_work(self):
+        _, metrics = self.run_farm(list(range(40)), processors=4, seed=1)
+        assert sum(1 for b in metrics.busy if b > 0) == 4
+
+    @given(st.lists(st.integers(-100, 100), max_size=15),
+           st.integers(1, 6), st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_farm_equals_map_property(self, items, processors, seed):
+        values, _ = self.run_farm(items, processors=processors, seed=seed)
+        assert values == [x * x for x in items]
+
+
+class TestPipeline:
+    def test_source_generation(self):
+        src = pipeline_library_source(["f", "g"])
+        program = parse_program(src)
+        assert ("pipe", 2) in program
+        assert ("f_stream", 2) in program
+        assert ("g_stream", 2) in program
+
+    def test_empty_stages_rejected(self):
+        with pytest.raises(MotifError):
+            pipeline_motif([])
+
+    def run_pipe(self, items, stages, processors):
+        applied = pipeline_motif([s[0] for s in stages]).apply(empty_app("p"))
+
+        def setup(reg, stages=stages):
+            for name, fn in stages:
+                reg.register(name, 2, fn, cost=2.0)
+
+        applied.foreign_setup.append(setup)
+        applied.user_names.update(s[0] for s in stages)
+        ys = Var("Ys")
+        goal = Struct("pipe", (from_python(items), ys))
+        _, metrics = run_applied(applied, goal, Machine(processors))
+        return to_python(ys), metrics
+
+    def test_three_stage_pipeline(self):
+        values, _ = self.run_pipe(
+            [1, 2, 3, 4],
+            [("dbl", lambda x: 2 * x), ("inc", lambda x: x + 1),
+             ("neg", lambda x: -x)],
+            processors=3,
+        )
+        assert values == [-(2 * x + 1) for x in [1, 2, 3, 4]]
+
+    def test_single_stage(self):
+        values, _ = self.run_pipe([3], [("inc", lambda x: x + 1)], 1)
+        assert values == [4]
+
+    def test_stages_overlap_in_time(self):
+        # With S stages of cost c and N items, a pipeline takes roughly
+        # (N + S) * c, far below the serial N * S * c.
+        items = list(range(10))
+        stages = [("a", lambda x: x), ("b", lambda x: x), ("c", lambda x: x)]
+        _, metrics = self.run_pipe(items, stages, 3)
+        serial_cost = len(items) * 3 * 2.0
+        assert metrics.makespan < serial_cost
+
+
+class TestSearch:
+    def run_queens(self, n, processors=4, depth=2, seed=0):
+        applied = search_stack().apply(empty_app("queens"))
+        applied.foreign_setup.append(register_queens)
+        applied.user_names.update({"expand", "sol"})
+        count = Var("C")
+        goal = Struct(
+            "create",
+            (processors,
+             Struct("boot", (from_python(root_node(n)), count, depth, Var("D")))),
+        )
+        _, metrics = run_applied(applied, goal, Machine(processors, seed=seed))
+        return deref(count), metrics
+
+    @pytest.mark.parametrize("n", [4, 5, 6])
+    def test_counts_match_known(self, n):
+        count, _ = self.run_queens(n)
+        assert count == KNOWN_COUNTS[n]
+
+    def test_depth_zero_fully_local(self):
+        count, metrics = self.run_queens(5, processors=4, depth=0)
+        assert count == KNOWN_COUNTS[5]
+
+    def test_sequential_reference(self):
+        assert count_solutions_sequential(6) == KNOWN_COUNTS[6]
+        assert count_solutions_sequential(8) == KNOWN_COUNTS[8]
+
+
+class TestSort:
+    def run_sort(self, xs, processors=4, depth=2, seed=0):
+        applied = sort_stack().apply(empty_app("sorting"))
+        applied.foreign_setup.append(register_sorting)
+        applied.user_names.update({"halve", "merge_sorted", "sort_seq"})
+        out = Var("Out")
+        goal = Struct(
+            "create",
+            (processors, Struct("boot", (from_python(xs), out, depth, Var("D")))),
+        )
+        run_applied(applied, goal, Machine(processors, seed=seed))
+        return to_python(out)
+
+    def test_sorts(self):
+        xs = random_list(60, seed=1)
+        assert self.run_sort(xs) == sorted(xs)
+
+    def test_empty_and_singleton(self):
+        assert self.run_sort([]) == []
+        assert self.run_sort([9]) == [9]
+
+    def test_already_sorted(self):
+        assert self.run_sort(list(range(20))) == list(range(20))
+
+    @given(st.lists(st.integers(-1000, 1000), max_size=40),
+           st.integers(0, 3), st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_sort_property(self, xs, depth, seed):
+        assert self.run_sort(xs, depth=depth, seed=seed) == sorted(xs)
+
+    def test_merge_sorted_reference(self):
+        assert merge_sorted([1, 3], [2, 4]) == [1, 2, 3, 4]
+        assert merge_sorted([], [1]) == [1]
+
+
+class TestGrid:
+    def run_jacobi(self, rows, cols, workers, iterations):
+        applied = grid_motif().apply(empty_app("jacobi"))
+        applied.foreign_setup.append(register_grid)
+        applied.user_names.update({"top_row", "bottom_row", "sweep"})
+        grid = make_grid(rows, cols)
+        strips = [from_python(s) for s in split_strips(grid, workers)]
+        goals, results = grid_goals(strips, iterations)
+        _, metrics = run_applied(applied, goals, Machine(workers))
+        got = join_strips([to_python(r) for r in results])
+        return grid, got, metrics
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_matches_reference(self, workers):
+        grid, got, _ = self.run_jacobi(12, 6, workers, iterations=4)
+        assert np.allclose(got, jacobi_reference(grid, 4))
+
+    def test_zero_iterations_identity(self):
+        grid, got, _ = self.run_jacobi(8, 4, 2, iterations=0)
+        assert np.allclose(got, grid)
+
+    def test_uneven_strips(self):
+        grid, got, _ = self.run_jacobi(11, 5, 3, iterations=3)
+        assert np.allclose(got, jacobi_reference(grid, 3))
+
+    def test_boundary_exchanges_counted(self):
+        _, _, metrics = self.run_jacobi(12, 6, 4, iterations=5)
+        assert metrics.remote_bindings > 0 or metrics.sends > 0
+
+
+class TestDnC:
+    def run_sum(self, lo, hi, processors=4, depth=3, seed=0):
+        applied = dnc_stack().apply(empty_app("sumrange"))
+
+        def setup(reg):
+            reg.register("is_base", 2, lambda p: p[1] - p[0] <= 2, cost=1.0)
+            reg.register("base", 2, lambda p: sum(range(p[0], p[1] + 1)), cost=2.0)
+            reg.register(
+                "split", 3,
+                lambda p: ([p[0], (p[0] + p[1]) // 2],
+                           [(p[0] + p[1]) // 2 + 1, p[1]]),
+                outputs=(1, 2), cost=1.0,
+            )
+            reg.register("combine", 3, lambda a, b: a + b, cost=1.0)
+
+        applied.foreign_setup.append(setup)
+        applied.user_names.update({"is_base", "base", "split", "combine"})
+        result = Var("R")
+        goal = Struct(
+            "create",
+            (processors,
+             Struct("boot", (from_python([lo, hi]), result, depth, Var("D")))),
+        )
+        run_applied(applied, goal, Machine(processors, seed=seed))
+        return deref(result)
+
+    def test_gauss_sum(self):
+        assert self.run_sum(1, 100) == 5050
+
+    def test_base_case_only(self):
+        assert self.run_sum(1, 2) == 3
+
+    @given(st.integers(1, 50), st.integers(0, 4), st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_dnc_sum_property(self, n, depth, seed):
+        hi = n + 10
+        assert self.run_sum(n, hi, depth=depth, seed=seed) == sum(range(n, hi + 1))
+
+
+class TestCollectSearch:
+    """§1's or-parallel model: return the solutions, not just a count."""
+
+    def run_collect(self, n, processors=4, depth=2, seed=3):
+        from repro.motifs.search import collect_search_stack
+        from repro.strand.terms import NIL
+
+        applied = collect_search_stack().apply(empty_app("queens"))
+        applied.foreign_setup.append(register_queens)
+        applied.user_names.update({"expand", "sol"})
+        sols = Var("Sols")
+        goal = Struct(
+            "create",
+            (processors,
+             Struct("boot", (from_python(root_node(n)), sols, NIL, depth,
+                             Var("D")))),
+        )
+        run_applied(applied, goal, Machine(processors, seed=seed))
+        return to_python(sols)
+
+    @staticmethod
+    def _valid(node):
+        n, cols = node[0], node[1:]
+        if len(cols) != n:
+            return False
+        return all(
+            cols[i] != cols[j] and abs(cols[i] - cols[j]) != j - i
+            for i in range(n) for j in range(i + 1, n)
+        )
+
+    def test_collects_all_solutions(self):
+        sols = self.run_collect(6)
+        assert len(sols) == KNOWN_COUNTS[6]
+        assert all(self._valid(s) for s in sols)
+        assert len({tuple(s) for s in sols}) == len(sols)
+
+    def test_unsolvable_board_empty(self):
+        assert self.run_collect(3) == []
+
+    def test_matches_count_motif(self):
+        for n in (4, 5):
+            sols = self.run_collect(n, processors=3, seed=1)
+            assert len(sols) == KNOWN_COUNTS[n]
+
+    def test_depth_zero_local(self):
+        sols = self.run_collect(5, depth=0)
+        assert len(sols) == KNOWN_COUNTS[5]
+
+    def test_schedule_independent_solution_set(self):
+        a = {tuple(s) for s in self.run_collect(6, processors=2, seed=1)}
+        b = {tuple(s) for s in self.run_collect(6, processors=5, seed=9)}
+        assert a == b

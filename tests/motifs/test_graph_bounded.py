@@ -1,0 +1,136 @@
+"""Tests for the graph-SSSP and bounded-buffer motifs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.graphs import (
+    cycle_graph,
+    grid_graph,
+    random_graph,
+    reference_distances,
+    run_sssp,
+)
+from repro.core.api import run_applied
+from repro.errors import MotifError
+from repro.machine import Machine
+from repro.motifs.bounded import bounded_motif
+from repro.motifs.graph import sssp_goals
+from repro.strand.foreign import from_python, to_python
+from repro.strand.program import Program
+from repro.strand.terms import Struct, Var
+
+
+class TestGraphSSSP:
+    def test_grid_matches_networkx(self):
+        adj = grid_graph(5, 4)
+        assert run_sssp(adj, 0, workers=4, seed=1)[0] == reference_distances(adj, 0)
+
+    def test_cycle(self):
+        adj = cycle_graph(12)
+        got, _ = run_sssp(adj, 3, workers=3, seed=0)
+        assert got == reference_distances(adj, 3)
+
+    def test_random_graphs(self):
+        for seed in (0, 1, 2):
+            adj = random_graph(25, 0.12, seed=seed)
+            got, _ = run_sssp(adj, 0, workers=4, seed=seed)
+            assert got == reference_distances(adj, 0)
+
+    def test_single_worker(self):
+        adj = grid_graph(3, 3)
+        got, metrics = run_sssp(adj, 0, workers=1)
+        assert got == reference_distances(adj, 0)
+        assert metrics.sends == 0  # everything local
+
+    def test_disconnected_nodes_absent(self):
+        adj = {0: [1], 1: [0], 2: []}  # node 2 unreachable
+        got, _ = run_sssp(adj, 0, workers=2)
+        assert got == {0: 0, 1: 1}
+        assert 2 not in got
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(MotifError):
+            sssp_goals({0: []}, source=9, workers=2)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(MotifError):
+            sssp_goals({0: []}, source=0, workers=0)
+
+    @given(
+        nodes=st.integers(4, 20),
+        p=st.floats(0.05, 0.4),
+        workers=st.integers(1, 5),
+        seed=st.integers(0, 10**4),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_sssp_matches_networkx_property(self, nodes, p, workers, seed):
+        adj = random_graph(nodes, p, seed=seed)
+        got, _ = run_sssp(adj, 0, workers=workers, seed=seed)
+        assert got == reference_distances(adj, 0)
+
+    def test_messages_stay_on_owners(self):
+        # With a ring topology the computation still converges correctly.
+        adj = grid_graph(4, 4)
+        machine = Machine(4, topology="ring", seed=2)
+        got, _ = run_sssp(adj, 0, workers=4, machine=machine)
+        assert got == reference_distances(adj, 0)
+
+
+class TestBoundedBuffer:
+    SOURCE_EXTRA = """
+    feed(N, Xs) :- N > 0 |
+        Xs := [N | Xs1],
+        N1 := N - 1,
+        feed(N1, Xs1).
+    feed(0, Xs) :- Xs := [].
+    go(N, K, Items) :-
+        feed(N, Xs),
+        bounded(K, Xs, Ys),
+        bounded_collect(Ys, Items).
+    """
+
+    def run(self, n: int, k: int):
+        applied = bounded_motif().apply(
+            Program(name="bbtest")
+        )
+        from repro.strand.parser import parse_program
+
+        extra = parse_program(self.SOURCE_EXTRA, name="driver")
+        program = applied.program.union(extra)
+        from repro.strand.engine import StrandEngine
+
+        machine = Machine(1)
+        engine = StrandEngine(program, machine=machine)
+        items = Var("Items")
+        engine.spawn(Struct("go", (n, k, items)))
+        metrics = engine.run()
+        return to_python(items), metrics
+
+    def test_delivers_everything_in_order(self):
+        items, _ = self.run(10, 3)
+        assert items == list(range(10, 0, -1))
+
+    def test_window_respected(self):
+        for k in (1, 2, 5):
+            _, metrics = self.run(20, k)
+            assert metrics.max_peak_live_values <= k, k
+
+    def test_window_one_is_figure1(self):
+        items, metrics = self.run(6, 1)
+        assert items == [6, 5, 4, 3, 2, 1]
+        assert metrics.max_peak_live_values == 1
+
+    def test_empty_stream(self):
+        items, _ = self.run(0, 4)
+        assert items == []
+
+    def test_large_window_does_not_block(self):
+        items, _ = self.run(5, 100)
+        assert len(items) == 5
+
+    @given(n=st.integers(0, 30), k=st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_bounded_property(self, n, k):
+        items, metrics = self.run(n, k)
+        assert items == list(range(n, 0, -1))
+        assert metrics.max_peak_live_values <= k

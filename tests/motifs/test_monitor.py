@@ -1,0 +1,130 @@
+"""Monitor (serializer) motif tests — atomic shared state."""
+
+from repro.core.api import run_applied
+from repro.machine import Machine
+from repro.motifs.monitor import monitor_motif
+from repro.strand.parser import parse_program
+from repro.strand.program import Program
+from repro.strand.terms import Atom, Struct, Var, deref
+
+
+def run_with_driver(driver_source: str, query_goal: Struct, processors=4,
+                    seed=0):
+    applied = monitor_motif().apply(parse_program(driver_source, name="driver"))
+    machine = Machine(processors, seed=seed)
+    engine, metrics = run_applied(applied, query_goal, machine)
+    return engine, metrics
+
+
+class TestCounter:
+    DRIVER = """
+    go(N, Final) :-
+        new_monitor(0, Counter),
+        spawn_incrs(N, Counter, Replies),
+        wait_all(Replies, Counter, Final).
+    spawn_incrs(N, Counter, Rs) :- N > 0 |
+        hammer(Counter, R) @ N,
+        Rs := [R | Rs1],
+        N1 := N - 1,
+        spawn_incrs(N1, Counter, Rs1).
+    spawn_incrs(0, _, Rs) :- Rs := [].
+    hammer(Counter, R) :-
+        send_port(Counter, req(incr, R)).
+    wait_all([R | Rs], Counter, Final) :- known(R) | wait_all(Rs, Counter, Final).
+    wait_all([], Counter, Final) :-
+        send_port(Counter, req(get, Final)).
+    """
+
+    def test_concurrent_increments_are_atomic(self):
+        final = Var("Final")
+        goal = Struct("go", (10, final))
+        run_with_driver(self.DRIVER, goal, processors=5, seed=2)
+        assert deref(final) == 10
+
+    def test_single_processor(self):
+        final = Var("Final")
+        run_with_driver(self.DRIVER, Struct("go", (4, final)), processors=1)
+        assert deref(final) == 4
+
+    def test_replies_are_distinct_values(self):
+        # Atomicity means the N replies are exactly 1..N in some order.
+        source = self.DRIVER + """
+        collect([R | Rs], Acc, Out) :- known(R) |
+            collect(Rs, [R | Acc], Out).
+        collect([], Acc, Out) :- Out := Acc.
+        go2(N, Out) :-
+            new_monitor(0, Counter),
+            spawn_incrs(N, Counter, Replies),
+            collect(Replies, [], Out).
+        """
+        out = Var("Out")
+        engine, _ = run_with_driver(source, Struct("go2", (6, out)),
+                                    processors=3, seed=7)
+        from repro.strand.terms import iter_list
+
+        values = sorted(deref(v) for v in iter_list(deref(out)))
+        assert values == [1, 2, 3, 4, 5, 6]
+
+
+class TestLock:
+    DRIVER = """
+    go(A, B) :-
+        new_monitor(0, Lock),
+        send_port(Lock, req(test_and_set, A)),
+        second(A, Lock, B).
+    second(A, Lock, B) :- known(A) |
+        send_port(Lock, req(test_and_set, B)).
+    """
+
+    def test_second_acquire_busy(self):
+        a, b = Var("A"), Var("B")
+        run_with_driver(self.DRIVER, Struct("go", (a, b)))
+        assert deref(a) is Atom("got")
+        assert deref(b) is Atom("busy")
+
+    def test_release_frees(self):
+        source = self.DRIVER + """
+        go3(A, B, C) :-
+            new_monitor(0, Lock),
+            send_port(Lock, req(test_and_set, A)),
+            rel(A, Lock, B, C).
+        rel(A, Lock, B, C) :- known(A) |
+            send_port(Lock, req(release, B)),
+            retry(B, Lock, C).
+        retry(B, Lock, C) :- known(B) |
+            send_port(Lock, req(test_and_set, C)).
+        """
+        a, b, c = Var("A"), Var("B"), Var("C")
+        run_with_driver(source, Struct("go3", (a, b, c)))
+        assert deref(a) is Atom("got")
+        assert deref(c) is Atom("got")
+
+
+class TestPutGet:
+    def test_put_returns_old_state(self):
+        source = """
+        go(Old, New) :-
+            new_monitor(init, M),
+            send_port(M, req(put(fresh), Old)),
+            after(Old, M, New).
+        after(Old, M, New) :- known(Old) |
+            send_port(M, req(get, New)).
+        """
+        old, new = Var("Old"), Var("New")
+        run_with_driver(source, Struct("go", (old, new)))
+        assert deref(old) is Atom("init")
+        assert deref(new) is Atom("fresh")
+
+    def test_user_defined_operation(self):
+        # Users extend the monitor by adding user_handle/4 rules.
+        source = """
+        user_handle(double, State, State1, Reply) :-
+            State1 := State * 2,
+            Reply := State1.
+        go(V) :-
+            new_monitor(3, M),
+            send_port(M, req(double, V)).
+        """
+        v = Var("V")
+        run_with_driver(source, Struct("go", (v,)))
+        assert deref(v) == 6

@@ -1,0 +1,187 @@
+"""Scheduler motif tests (§1): flat and hierarchical manager/worker."""
+
+import pytest
+
+from repro.apps.taskbag import TASKBAG_SOURCE, expected_sum, register_taskbag, skewed_cost
+from repro.core.api import run_applied
+from repro.errors import TransformError
+from repro.machine import Machine
+from repro.motifs.scheduler import TaskSchedule, scheduled_application
+from repro.strand.parser import parse_program
+from repro.strand.terms import Struct, Var, deref
+from repro.transform.rewrite import goal_indicator
+
+
+def run_taskbag(tasks: int, processors: int, *, hierarchical=False,
+                groups=2, seed=0, cost=10.0):
+    app = parse_program(TASKBAG_SOURCE, name="taskbag")
+    motif = scheduled_application(
+        entry=("main", 2),
+        hierarchical=hierarchical,
+        outputs={("work", 2): 1},
+        # The circuit must wait for each (foreign) task's output, or the
+        # watch process halts the scheduler before queued tasks dispatch.
+        sync_outputs={("work", 2): 1},
+    )
+    applied = motif.apply(app)
+    applied.foreign_setup.append(lambda reg: register_taskbag(reg, cost=cost))
+    applied.user_names.add("work")
+    machine = Machine(processors, seed=seed)
+    sum_var = Var("Sum")
+    boot = Struct("boot", (tasks, sum_var, Var("Done")))
+    if hierarchical:
+        goal = Struct("create", (processors, Struct("hinit", (groups, boot))))
+    else:
+        goal = Struct("create", (processors, Struct("minit", (boot,))))
+    engine, metrics = run_applied(applied, goal, machine)
+    return deref(sum_var), metrics
+
+
+class TestTaskScheduleTransformation:
+    def test_task_pragma_rewritten(self):
+        out = TaskSchedule(outputs={("work", 2): 1}).apply(
+            parse_program(TASKBAG_SOURCE)
+        )
+        gen = out.procedure("gen", 2).rules[0]
+        goals = [goal_indicator(g) for g in gen.body]
+        assert ("send", 2) in goals
+
+    def test_run_task_rules_generated(self):
+        out = TaskSchedule(outputs={("work", 2): 1}).apply(
+            parse_program(TASKBAG_SOURCE)
+        )
+        assert ("run_task", 2) in out
+
+    def test_hierarchical_run_task_arity(self):
+        out = TaskSchedule(outputs={("work", 2): 1}, hierarchical=True).apply(
+            parse_program(TASKBAG_SOURCE)
+        )
+        assert ("run_task", 3) in out
+
+    def test_no_tasks_rejected(self):
+        with pytest.raises(TransformError):
+            TaskSchedule().apply(parse_program("p :- q.\nq."))
+
+    def test_bad_output_position(self):
+        with pytest.raises(TransformError):
+            TaskSchedule(outputs={("work", 2): 9}).apply(
+                parse_program(TASKBAG_SOURCE)
+            )
+
+
+class TestFlatScheduler:
+    def test_correct_sum(self):
+        value, _ = run_taskbag(12, 4)
+        assert value == expected_sum(12)
+
+    def test_single_processor(self):
+        value, _ = run_taskbag(6, 1)
+        assert value == expected_sum(6)
+
+    def test_more_tasks_than_workers(self):
+        value, _ = run_taskbag(30, 3)
+        assert value == expected_sum(30)
+
+    def test_work_distributed(self):
+        _, metrics = run_taskbag(24, 4, cost=50.0)
+        workers_used = sum(1 for b in metrics.busy if b > 40)
+        assert workers_used >= 3
+
+    def test_skewed_costs_still_correct(self):
+        value, _ = run_taskbag(16, 4, cost=skewed_cost(seed=3))
+        assert value == expected_sum(16)
+
+
+class TestHierarchicalScheduler:
+    def test_correct_sum(self):
+        value, _ = run_taskbag(12, 8, hierarchical=True, groups=2)
+        assert value == expected_sum(12)
+
+    def test_various_group_counts(self):
+        for groups in (1, 2, 3):
+            value, _ = run_taskbag(10, 7, hierarchical=True, groups=groups)
+            assert value == expected_sum(10), groups
+
+    def test_manager_relief(self):
+        """The paper's point: extra hierarchy levels relieve the manager.
+
+        Compare server 1's share of scheduling messages (sends) under the
+        flat and hierarchical schedulers for the same workload.
+        """
+        tasks, procs = 40, 9
+        _, flat = run_taskbag(tasks, procs, cost=30.0)
+        _, hier = run_taskbag(tasks, procs, hierarchical=True, groups=4,
+                              cost=30.0)
+        # Messages handled *by* the manager processor (sent from it):
+        flat_mgr = flat.busy[0]
+        hier_mgr = hier.busy[0]
+        assert hier_mgr < flat_mgr
+
+
+class TestDependencyScheduling:
+    """The Schedule-package discipline (§1): tasks declare their data
+    dependencies; a task is submitted only when its inputs are known, so
+    dependent tasks never deadlock the worker pool."""
+
+    APP = """
+    tsum(leaf(X), Out) :- Out := X.
+    tsum(tree(L, R), Out) :-
+        combine(O1, O2, Out) @ task,
+        tsum(L, O1),
+        tsum(R, O2).
+    """
+
+    def run_tree_sum(self, depth: int, processors: int, seed: int = 1):
+        from repro.strand.parser import parse_program as parse
+
+        app = parse(self.APP, name="tsum")
+        motif = scheduled_application(
+            entry=("tsum", 2),
+            outputs={("combine", 3): 2},
+            sync_outputs={("combine", 3): 2},
+            dependencies={("combine", 3): (0, 1)},
+        )
+        applied = motif.apply(app)
+        applied.foreign_setup.append(
+            lambda reg: reg.register("combine", 3, lambda a, b: a + b, cost=15.0)
+        )
+        applied.user_names.add("combine")
+
+        def mk(d):
+            if d == 0:
+                return Struct("leaf", (1,))
+            return Struct("tree", (mk(d - 1), mk(d - 1)))
+
+        out = Var("Out")
+        goal = Struct(
+            "create",
+            (processors,
+             Struct("minit", (Struct("boot", (mk(depth), out, Var("D"))),))),
+        )
+        _, metrics = run_applied(applied, goal, Machine(processors, seed=seed))
+        return deref(out), metrics
+
+    def test_dependent_tasks_single_worker(self):
+        # Without gating this deadlocks: the combine tasks would hold the
+        # only worker while waiting for their children.
+        value, _ = self.run_tree_sum(depth=4, processors=1)
+        assert value == 16
+
+    def test_dependent_tasks_parallel(self):
+        for processors in (2, 4, 8):
+            value, _ = self.run_tree_sum(depth=5, processors=processors)
+            assert value == 32
+
+    def test_gate_rule_generated(self):
+        out = TaskSchedule(
+            outputs={("combine", 3): 2},
+            dependencies={("combine", 3): (0, 1)},
+        ).apply(parse_program(self.APP))
+        gate = out.procedure("submit_combine_when_ready", 3)
+        assert gate is not None
+        assert len(gate.rules[0].guards) == 2  # one known/1 per dependency
+
+    def test_parallelism_helps(self):
+        _, one = self.run_tree_sum(depth=5, processors=1)
+        _, four = self.run_tree_sum(depth=5, processors=4)
+        assert four.makespan < one.makespan

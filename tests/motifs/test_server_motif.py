@@ -1,0 +1,131 @@
+"""Server motif tests (§3.2): transformation steps and both libraries."""
+
+import pytest
+
+from repro.core.api import run_applied
+from repro.errors import MotifError
+from repro.machine import Machine
+from repro.motifs.server import (
+    MERGE_LIBRARY,
+    PORT_LIBRARY,
+    server_motif,
+    server_transformation,
+)
+from repro.strand.parser import parse_program
+from repro.strand.terms import Struct, Var, deref
+from repro.transform.rewrite import goal_indicator
+
+# A user server that echoes stamped messages back onto a collector variable
+# owned by the sender, then halts after a fixed count.
+ECHO_SERVER = """
+server([hello(From, Reply) | In]) :-
+    Reply := hi(From),
+    server(In).
+server([fanout(K) | In]) :-
+    spread(K),
+    server(In).
+server([halt | _]).
+server([]).
+
+spread(K) :- K > 0 |
+    nodes(N),
+    W := K mod N + 1,
+    send(W, hello(K, _)),
+    K1 := K - 1,
+    spread(K1).
+spread(0) :- halt.
+"""
+
+
+class TestServerTransformation:
+    def test_threads_server_and_handlers(self):
+        out = server_transformation().apply(parse_program(ECHO_SERVER))
+        assert ("server", 2) in out
+        assert ("spread", 2) in out
+
+    def test_send_becomes_distribute(self):
+        out = server_transformation().apply(parse_program(ECHO_SERVER))
+        goals = [
+            goal_indicator(g)
+            for rule in out.rules()
+            for g in rule.body
+        ]
+        assert ("distribute", 3) in goals
+        assert ("send", 2) not in goals
+
+    def test_nodes_becomes_length(self):
+        out = server_transformation().apply(parse_program(ECHO_SERVER))
+        goals = [goal_indicator(g) for r in out.rules() for g in r.body]
+        assert ("length", 2) in goals
+        assert ("nodes", 1) not in goals
+
+    def test_halt_becomes_broadcast(self):
+        out = server_transformation().apply(parse_program(ECHO_SERVER))
+        goals = [goal_indicator(g) for r in out.rules() for g in r.body]
+        assert ("broadcast", 2) in goals
+        assert ("halt", 0) not in goals
+
+    def test_server_threaded_even_without_ops(self):
+        # A server that uses no operations still becomes server/2 so the
+        # library can invoke it.
+        out = server_transformation().apply(parse_program("server([])."))
+        assert ("server", 2) in out
+
+    def test_message_patterns_untouched(self):
+        out = server_transformation().apply(parse_program(ECHO_SERVER))
+        rule = out.procedure("server", 2).rules[0]
+        message = deref(rule.head.args[0]).head  # hello(From, Reply)
+        assert deref(message).indicator == ("hello", 2)
+
+
+def run_echo(library: str, processors: int, count: int, seed: int = 0):
+    motif = server_motif(library)
+    applied = motif.apply(parse_program(ECHO_SERVER, name="echo"))
+    machine = Machine(processors, seed=seed)
+    goal = Struct("create", (processors, Struct("fanout", (count,))))
+    return run_applied(applied, goal, machine)
+
+
+class TestPortLibrary:
+    def test_runs_and_halts(self):
+        engine, metrics = run_echo("ports", 4, 10)
+        assert metrics.reductions > 0
+
+    def test_messages_cross_processors(self):
+        _, metrics = run_echo("ports", 4, 12)
+        assert metrics.sends > 0
+
+    def test_single_server(self):
+        run_echo("ports", 1, 5)
+
+    def test_library_source_is_strand(self):
+        program = parse_program(PORT_LIBRARY)
+        assert ("create", 2) in program
+        assert ("broadcast", 2) in program
+
+
+class TestMergeLibrary:
+    def test_runs_and_halts(self):
+        engine, metrics = run_echo("merge", 4, 10)
+        assert metrics.reductions > 0
+
+    def test_same_behaviour_as_ports(self):
+        # Both libraries implement the same abstraction; the echo workload
+        # completes under each.
+        for lib in ("ports", "merge"):
+            engine, metrics = run_echo(lib, 3, 9, seed=2)
+            assert metrics.reductions > 0
+
+    def test_merge_network_costs_more_reductions(self):
+        _, ports = run_echo("ports", 4, 12, seed=1)
+        _, merge = run_echo("merge", 4, 12, seed=1)
+        assert merge.reductions > ports.reductions
+
+    def test_library_source_is_strand(self):
+        program = parse_program(MERGE_LIBRARY)
+        assert ("create", 2) in program
+        assert ("merge_all", 2) in program
+
+    def test_unknown_library_rejected(self):
+        with pytest.raises(ValueError):
+            server_motif("carrier-pigeon")

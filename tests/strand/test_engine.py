@@ -1,0 +1,209 @@
+"""Engine tests: reduction, synchronization, failure modes, placement."""
+
+import pytest
+
+from repro.errors import (
+    DeadlockError,
+    DoubleAssignmentError,
+    PragmaError,
+    ProcessFailureError,
+    StrandError,
+    UnknownProcedureError,
+)
+from repro.machine import Machine
+from repro.strand import parse_program, run_query
+from repro.strand.terms import deref
+from tests.helpers import FIGURE1_SOURCE, SEQ_REDUCE_SOURCE, run
+
+
+class TestFigure1:
+    """The paper's Figure 1 producer/consumer."""
+
+    def test_runs_to_completion(self):
+        res = run(FIGURE1_SOURCE, "go(4)")
+        assert res.metrics.reductions > 0
+
+    def test_zero_messages(self):
+        run(FIGURE1_SOURCE, "go(0)")
+
+    def test_synchronous_rendezvous(self):
+        # Producer sends N messages and waits for each acknowledgement:
+        # reductions grow linearly in N.
+        small = run(FIGURE1_SOURCE, "go(2)").metrics.reductions
+        large = run(FIGURE1_SOURCE, "go(12)").metrics.reductions
+        assert large - small == 10 * (
+            (run(FIGURE1_SOURCE, "go(3)").metrics.reductions - small)
+        )
+
+    def test_consumer_acknowledges(self):
+        # The stream variable ends up fully acknowledged: run again with a
+        # variable query to observe the stream.
+        source = FIGURE1_SOURCE + "\nobserve(N, Xs) :- producer(N, Xs, sync), consumer(Xs).\n"
+        res = run(source, "observe(3, Xs)")
+        from repro.strand.terms import iter_list, Atom
+
+        items = [deref(x) for x in iter_list(res["Xs"])]
+        assert items == [Atom("sync")] * 3
+
+
+class TestReduction:
+    def test_sequential_tree_reduce(self):
+        res = run(
+            SEQ_REDUCE_SOURCE,
+            "reduce(tree(add, tree(mul, leaf(3), leaf(2)), leaf(4)), V)",
+        )
+        assert deref(res["V"]) == 10
+
+    def test_rule_order_commit(self):
+        # First matching rule commits.
+        res = run("pick(X, V) :- V := first.\npick(X, V) :- V := second.",
+                  "pick(1, V)")
+        from repro.strand.terms import Atom
+
+        assert deref(res["V"]) is Atom("first")
+
+    def test_guard_selects_rule(self):
+        src = """
+        sign(N, S) :- N > 0 | S := pos.
+        sign(N, S) :- N < 0 | S := neg.
+        sign(0, S) :- S := zero.
+        """
+        from repro.strand.terms import Atom
+
+        assert deref(run(src, "sign(5, S)")["S"]) is Atom("pos")
+        assert deref(run(src, "sign(-5, S)")["S"]) is Atom("neg")
+        assert deref(run(src, "sign(0, S)")["S"]) is Atom("zero")
+
+    def test_dataflow_order_independence(self):
+        # Consumer spawned before producer: suspension handles it.
+        src = """
+        go(V) :- use(X, V), make(X).
+        make(X) :- X := 41.
+        use(X, V) :- V := X + 1.
+        """
+        assert deref(run(src, "go(V)")["V"]) == 42
+
+    def test_deep_recursion_iterative(self):
+        src = """
+        count(N, Out) :- N > 0 | N1 := N - 1, count(N1, Out).
+        count(0, Out) :- Out := done.
+        """
+        res = run(src, "count(5000, Out)")
+        from repro.strand.terms import Atom
+
+        assert deref(res["Out"]) is Atom("done")
+
+
+class TestFailureModes:
+    def test_process_failure(self):
+        with pytest.raises(ProcessFailureError):
+            run("p(1).", "p(2)")
+
+    def test_unknown_procedure(self):
+        with pytest.raises(UnknownProcedureError):
+            run("p(1).", "q(1)")
+
+    def test_deadlock_detection(self):
+        with pytest.raises(DeadlockError) as err:
+            run("p(X) :- X > 0 | q.\nq.", "p(Y)")
+        assert "suspended" in str(err.value)
+
+    def test_double_assignment(self):
+        with pytest.raises(DoubleAssignmentError):
+            run("p :- X := 1, X := 2.", "p")
+
+    def test_identical_reassignment_tolerated(self):
+        run("p(V) :- V := 1, V := 1.", "p(V)")
+
+    def test_pragma_reaching_engine(self):
+        with pytest.raises(PragmaError):
+            run("p :- q @ random.\nq.", "p")
+
+    def test_reduction_budget(self):
+        src = "loop :- loop."
+        program = parse_program(src)
+        with pytest.raises(StrandError, match="budget"):
+            run_query(program, "loop", max_reductions=100)
+
+
+class TestPlacement:
+    def test_at_spawns_on_processor(self):
+        src = "go :- work @ 3.\nwork."
+        res = run(src, "go", processors=4)
+        assert res.metrics.busy[2] > 0
+
+    def test_at_wraps_modulo(self):
+        src = "go :- work @ 7.\nwork."
+        res = run(src, "go", processors=4)  # 7 -> processor 3
+        assert res.metrics.busy[2] > 0
+
+    def test_remote_spawn_counts_message(self):
+        src = "go :- work @ 2.\nwork."
+        res = run(src, "go", processors=2)
+        assert res.metrics.sends == 1
+
+    def test_local_spawn_no_message(self):
+        src = "go :- work @ 1.\nwork."
+        res = run(src, "go", processors=2)
+        assert res.metrics.sends == 0
+
+    def test_placement_by_expression(self):
+        src = "go(N) :- work @ N + 1.\nwork."
+        res = run(src, "go(1)", processors=4)
+        assert res.metrics.busy[1] > 0
+
+    def test_remote_binding_latency(self):
+        # A value produced remotely arrives later than a local one.
+        src = """
+        golocal(V) :- make(V) @ 1.
+        goremote(V) :- make(V) @ 2.
+        make(V) :- V := 1.
+        """
+        local = run(src, "golocal(V)", processors=2).metrics.makespan
+        remote = run(src, "goremote(V)", processors=2).metrics.makespan
+        assert remote > local
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = run(SEQ_REDUCE_SOURCE,
+                "reduce(tree(add, leaf(1), tree(mul, leaf(2), leaf(3))), V)",
+                processors=4, seed=9)
+        b = run(SEQ_REDUCE_SOURCE,
+                "reduce(tree(add, leaf(1), tree(mul, leaf(2), leaf(3))), V)",
+                processors=4, seed=9)
+        assert a.metrics.makespan == b.metrics.makespan
+        assert a.metrics.busy == b.metrics.busy
+
+    def test_output_collection(self):
+        res = run('p :- write(f(1)), write("done").', "p")
+        assert res.output == ["f(1)", '"done"']
+
+
+class TestMetricsAccounting:
+    def test_busy_equals_reduction_costs(self):
+        res = run("p. q :- p, p.", "q")
+        assert res.metrics.total_busy == res.metrics.reductions  # unit costs
+
+    def test_library_cost_split(self):
+        src = "lib_thing :- helper.\nhelper.\nuser_thing."
+        program = parse_program(src)
+        result = run_query(
+            program, "lib_thing, user_thing",
+            machine=Machine(1),
+            library=[("lib_thing", 0), ("helper", 0)],
+        )
+        assert result.metrics.library_cost == 2.0
+        assert result.metrics.user_cost == 1.0
+
+    def test_watched_tasks_high_water(self):
+        src = """
+        go :- eval(1, A), eval(2, B), fire(A, B).
+        fire(A, B) :- A := go, B := go.
+        eval(N, T) :- T == go | true.
+        """
+        program = parse_program(src)
+        result = run_query(program, "go", machine=Machine(1),
+                           watched=[("eval", 2)])
+        # Both evals are spawned and pending before fire releases them.
+        assert result.metrics.max_peak_live_tasks == 2

@@ -1,0 +1,145 @@
+"""Failure injection: how the engine behaves when user code misbehaves."""
+
+import pytest
+
+from repro.errors import (
+    DeadlockError,
+    DoubleAssignmentError,
+    ForeignProcedureError,
+    ProcessFailureError,
+    StrandError,
+)
+from repro.machine import Machine
+from repro.strand import parse_program, run_query
+from repro.strand.foreign import ForeignRegistry
+
+
+class TestForeignFailures:
+    def run_with(self, source, query, registry, **kw):
+        return run_query(parse_program(source), query,
+                         machine=Machine(kw.pop("processors", 1)),
+                         foreign=registry, **kw)
+
+    def test_raising_foreign_propagates(self):
+        reg = ForeignRegistry()
+
+        def boom(x):
+            raise ValueError("injected fault")
+
+        reg.register("boom", 2, boom)
+        with pytest.raises(ValueError, match="injected fault"):
+            self.run_with("go(V) :- boom(1, V).", "go(V)", reg)
+
+    def test_failure_mid_computation_leaves_no_hang(self):
+        # The exception surfaces immediately; the engine does not attempt
+        # to continue or hang waiting for the dead call's output.
+        reg = ForeignRegistry()
+        calls = []
+
+        def flaky(x):
+            calls.append(x)
+            if x == 3:
+                raise RuntimeError("third call dies")
+            return x
+
+        reg.register("flaky", 2, flaky)
+        src = """
+        go :- run(1), run(2), run(3), run(4).
+        run(N) :- flaky(N, _Out).
+        """
+        with pytest.raises(RuntimeError):
+            self.run_with(src, "go", reg)
+        assert 3 in calls
+
+    def test_foreign_returning_unconvertible_value(self):
+        reg = ForeignRegistry()
+        reg.register("bad", 2, lambda x: object())
+        with pytest.raises(ForeignProcedureError):
+            self.run_with("go(V) :- bad(1, V).", "go(V)", reg)
+
+    def test_foreign_cost_function_fault(self):
+        reg = ForeignRegistry()
+        reg.register("pricey", 2, lambda x: x,
+                      cost=lambda x: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            self.run_with("go(V) :- pricey(1, V).", "go(V)", reg)
+
+    def test_improper_list_to_foreign(self):
+        reg = ForeignRegistry()
+        reg.register("wants_list", 2, sum)
+        with pytest.raises(ForeignProcedureError):
+            self.run_with("go(V) :- wants_list([1 | 2], V).", "go(V)", reg)
+
+
+class TestProtocolFaults:
+    def test_unknown_message_type_fails_loudly(self):
+        # A server receiving a message it has no rule for is a process
+        # failure, not a silent drop.
+        src = """
+        go :- open_port(P, S), send_port(P, mystery), loop(S).
+        loop([known_msg | In]) :- loop(In).
+        loop([]).
+        """
+        with pytest.raises(ProcessFailureError):
+            run_query(parse_program(src), "go", machine=Machine(1),
+                      services=[("loop", 1)])
+
+    def test_conflicting_writers_detected(self):
+        src = """
+        go :- race(X), race(X).
+        race(X) :- X := mine.
+        """
+        # Identical values are tolerated (no-op); conflicting ones are not.
+        run_query(parse_program(src), "go", machine=Machine(1))
+        src2 = """
+        go :- a(X), b(X).
+        a(X) :- X := 1.
+        b(X) :- X := 2.
+        """
+        with pytest.raises(DoubleAssignmentError):
+            run_query(parse_program(src2), "go", machine=Machine(1))
+
+    def test_deadlock_report_names_the_stuck_goals(self):
+        src = "go :- need(X).\nneed(X) :- X > 0 | t.\nt."
+        with pytest.raises(DeadlockError) as err:
+            run_query(parse_program(src), "go", machine=Machine(1))
+        assert "need" in str(err.value)
+
+    def test_budget_exhaustion_mid_protocol(self):
+        src = """
+        go :- open_port(P, S), flood(P), loop(S).
+        flood(P) :- send_port(P, x), flood(P).
+        loop([_ | In]) :- loop(In).
+        loop([]).
+        """
+        with pytest.raises(StrandError, match="budget"):
+            run_query(parse_program(src), "go", machine=Machine(1),
+                      services=[("loop", 1)], max_reductions=2000)
+
+
+class TestScaleStress:
+    def test_thousand_leaf_tree(self):
+        from repro.apps.arithmetic import arithmetic_tree, eval_arith_node
+        from repro.apps.trees import sequential_reduce
+        from repro.core.api import reduce_tree
+
+        tree = arithmetic_tree(1000, seed=42, ops=("add",), leaf_range=(0, 3))
+        expected = sequential_reduce(tree, eval_arith_node)
+        result = reduce_tree(tree, eval_arith_node, processors=8,
+                             strategy="tr1", seed=1)
+        assert result.value == expected
+        assert result.metrics.reductions > 10_000
+
+    def test_deep_stream_chain(self):
+        src = """
+        go(N, Out) :- gen(N, Xs), consume(Xs, 0, Out).
+        gen(N, Xs) :- N > 0 | Xs := [N | Xs1], N1 := N - 1, gen(N1, Xs1).
+        gen(0, Xs) :- Xs := [].
+        consume([X | Xs], Acc, Out) :- Acc1 := Acc + X, consume(Xs, Acc1, Out).
+        consume([], Acc, Out) :- Out := Acc.
+        """
+        from repro.strand.terms import deref
+
+        result = run_query(parse_program(src), "go(20000, Out)",
+                           machine=Machine(1), max_reductions=200_000)
+        assert deref(result.bindings["Out"]) == 20000 * 20001 // 2

@@ -1,0 +1,167 @@
+"""Foreign (Python) procedure tests — the multilingual interface."""
+
+import pytest
+
+from repro.errors import ForeignProcedureError
+from repro.machine import Machine
+from repro.strand import parse_program, run_query
+from repro.strand.foreign import ForeignRegistry, from_python, to_python
+from repro.strand.parser import parse_term
+from repro.strand.terms import Atom, Cons, NIL, Struct, Tup, Var, deref, make_list
+
+
+class TestConversions:
+    def test_to_python_scalars(self):
+        assert to_python(5) == 5
+        assert to_python("s") == "s"
+        assert to_python(Atom("a")) is Atom("a")
+
+    def test_to_python_list(self):
+        assert to_python(make_list([1, 2, 3])) == [1, 2, 3]
+        assert to_python(NIL) == []
+
+    def test_to_python_nested(self):
+        term = make_list([make_list([1]), Tup([2, 3])])
+        assert to_python(term) == [[1], (2, 3)]
+
+    def test_to_python_unbound_raises(self):
+        from repro.strand.foreign import NotGround
+
+        with pytest.raises(NotGround):
+            to_python(Cons(1, Var("T")))
+
+    def test_from_python_roundtrip(self):
+        for value in (7, 2.5, "txt", [1, [2]], (1, 2), True, None):
+            term = from_python(value)
+            # bool/None map to atoms; everything else round-trips.
+            if isinstance(value, bool):
+                assert term is Atom("true")
+            elif value is None:
+                assert term is Atom("nil")
+            else:
+                assert to_python(term) == value
+
+    def test_from_python_rejects_unknown(self):
+        with pytest.raises(ForeignProcedureError):
+            from_python(object())
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        reg = ForeignRegistry()
+        reg.register("f", 2, lambda x: x + 1)
+        assert ("f", 2) in reg
+        assert reg.lookup("f", 2).inputs == (0,)
+        assert reg.lookup("f", 2).outputs == (1,)
+
+    def test_duplicate_rejected(self):
+        reg = ForeignRegistry()
+        reg.register("f", 2, lambda x: x)
+        with pytest.raises(ForeignProcedureError):
+            reg.register("f", 2, lambda x: x)
+
+    def test_explicit_positions(self):
+        reg = ForeignRegistry()
+        reg.register("split", 3, lambda xs: (xs[:1], xs[1:]), outputs=(1, 2))
+        fp = reg.lookup("split", 3)
+        assert fp.inputs == (0,)
+        assert fp.outputs == (1, 2)
+
+    def test_overlapping_positions_rejected(self):
+        reg = ForeignRegistry()
+        with pytest.raises(ForeignProcedureError):
+            reg.register("f", 2, lambda x: x, inputs=(0, 1), outputs=(1,))
+
+    def test_out_of_range_rejected(self):
+        reg = ForeignRegistry()
+        with pytest.raises(ForeignProcedureError):
+            reg.register("f", 1, lambda: 0, outputs=(5,))
+
+    def test_copy_is_independent(self):
+        reg = ForeignRegistry()
+        reg.register("f", 1, lambda: 0, outputs=(0,), inputs=())
+        copy = reg.copy()
+        copy.register("g", 1, lambda: 0, outputs=(0,), inputs=())
+        assert ("g", 1) not in reg
+
+
+def run_with(source, query, registry, processors=1):
+    program = parse_program(source)
+    return run_query(program, query, machine=Machine(processors),
+                     foreign=registry)
+
+
+class TestForeignCalls:
+    def test_simple_call(self):
+        reg = ForeignRegistry()
+        reg.register("square", 2, lambda x: x * x)
+        res = run_with("p(V) :- square(7, V).", "p(V)", reg)
+        assert deref(res["V"]) == 49
+
+    def test_waits_for_ground_inputs(self):
+        reg = ForeignRegistry()
+        reg.register("square", 2, lambda x: x * x)
+        res = run_with("p(V) :- square(X, V), X := 6.", "p(V)", reg)
+        assert deref(res["V"]) == 36
+
+    def test_waits_for_deep_groundness(self):
+        reg = ForeignRegistry()
+        reg.register("total", 2, sum)
+        res = run_with("p(V) :- total([1, X, 3], V), X := 2.", "p(V)", reg)
+        assert deref(res["V"]) == 6
+
+    def test_multiple_outputs(self):
+        reg = ForeignRegistry()
+        reg.register("divmod_", 4, lambda a, b: (a // b, a % b), outputs=(2, 3))
+        res = run_with("p(Q, R) :- divmod_(17, 5, Q, R).", "p(Q, R)", reg)
+        assert deref(res["Q"]) == 3
+        assert deref(res["R"]) == 2
+
+    def test_wrong_output_shape_raises(self):
+        from repro.errors import StrandError
+
+        reg = ForeignRegistry()
+        reg.register("two", 3, lambda x: x, outputs=(1, 2))
+        with pytest.raises(StrandError):
+            run_with("p(A, B) :- two(1, A, B).", "p(A, B)", reg)
+
+    def test_cost_charged(self):
+        reg = ForeignRegistry()
+        reg.register("heavy", 2, lambda x: x, cost=50.0)
+        res = run_with("p(V) :- heavy(1, V).", "p(V)", reg)
+        assert res.metrics.total_busy >= 50.0
+
+    def test_cost_callable(self):
+        reg = ForeignRegistry()
+        reg.register("work", 2, lambda xs: len(xs), cost=lambda xs: 10.0 * len(xs))
+        res = run_with("p(V) :- work([a, b, c], V).", "p(V)", reg)
+        assert res.metrics.total_busy >= 30.0
+
+    def test_list_output(self):
+        reg = ForeignRegistry()
+        reg.register("explode", 2, lambda n: list(range(n)))
+        res = run_with("p(V) :- explode(3, V).", "p(V)", reg)
+        assert to_python(res["V"]) == [0, 1, 2]
+
+    def test_raw_foreign(self):
+        def raw(engine, process, args, now):
+            engine.bind(args[0], 123, process.proc, now)
+            return 5.0
+
+        reg = ForeignRegistry()
+        reg.register("mystery", 1, raw, raw=True)
+        res = run_with("p(V) :- mystery(V).", "p(V)", reg)
+        assert deref(res["V"]) == 123
+
+    def test_struct_argument_passed_through(self):
+        seen = {}
+
+        def inspect(term):
+            seen["term"] = term
+            return 1
+
+        reg = ForeignRegistry()
+        reg.register("inspect", 2, inspect)
+        run_with("p(V) :- inspect(f(1, [2]), V).", "p(V)", reg)
+        assert isinstance(seen["term"], Struct)
+        assert seen["term"].functor == "f"

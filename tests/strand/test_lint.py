@@ -1,0 +1,106 @@
+"""Linter tests."""
+
+from repro.strand.lint import LintWarning, lint_program
+from repro.strand.parser import parse_program
+
+
+def lint(source: str, **kw):
+    return lint_program(parse_program(source), **kw)
+
+
+def categories(warnings):
+    return [w.category for w in warnings]
+
+
+class TestUndefinedCalls:
+    def test_typo_detected(self):
+        ws = lint("go :- helper.\nhelpr.")
+        assert "undefined-call" in categories(ws)
+
+    def test_builtins_known(self):
+        assert lint("go(X) :- X := 1, rand_num(5, _R).") == []
+
+    def test_foreign_declared(self):
+        src = "go(V) :- eval(a, 1, 2, V)."
+        assert categories(lint(src)) == ["undefined-call"]
+        assert lint(src, foreign=[("eval", 4)]) == []
+
+    def test_arity_mismatch_detected(self):
+        ws = lint("go :- p(1, 2).\np(_).")
+        assert "undefined-call" in categories(ws)
+
+    def test_unknown_guard(self):
+        ws = lint("go(X) :- frobnicate(X) | t.\nt.")
+        assert "undefined-call" in categories(ws)
+
+    def test_known_guards_pass(self):
+        assert lint("go(X, Y) :- X > 0, known(Y), integer(X) | use(X, Y).\nuse(_, _).") == []
+
+
+class TestSingletons:
+    def test_singleton_flagged(self):
+        ws = lint("go(Lonely) :- t.\nt.")
+        assert "singleton-variable" in categories(ws)
+        assert any("Lonely" in w.message for w in ws)
+
+    def test_underscore_prefix_suppresses(self):
+        assert lint("go(_Lonely) :- t.\nt.") == []
+        assert lint("go(_) :- t.\nt.") == []
+
+    def test_used_twice_ok(self):
+        assert lint("go(X, X).") == []
+
+    def test_head_to_guard_counts(self):
+        assert lint("go(X) :- X > 0 | t.\nt.") == []
+
+
+class TestPragmas:
+    def test_pragma_flagged(self):
+        ws = lint("go :- t @ random.\nt.")
+        assert "pragma-without-motif" in categories(ws)
+
+    def test_allow_pragmas(self):
+        ws = lint("go :- t @ random.\nt.", allow_pragmas=True)
+        assert "pragma-without-motif" not in categories(ws)
+
+    def test_numeric_placement_is_fine(self):
+        assert lint("go :- t @ 3.\nt.") == []
+
+
+class TestUnused:
+    def test_unused_detected_with_entries(self):
+        ws = lint("go :- a.\na.\norphan.", entries=[("go", 0)])
+        assert any(w.category == "unused-procedure" and "orphan" in w.procedure
+                   for w in ws)
+
+    def test_no_entries_disables_check(self):
+        assert lint("go :- a.\na.\norphan.") == []
+
+    def test_reachable_not_flagged(self):
+        ws = lint("go :- a.\na :- b.\nb.", entries=[("go", 0)])
+        assert "unused-procedure" not in categories(ws)
+
+
+class TestRealLibrariesAreClean:
+    def test_motif_libraries_lint_clean(self):
+        """Eat our own dog food: the shipped motif libraries produce no
+        undefined-call or singleton warnings (modulo their declared
+        interfaces)."""
+        from repro.motifs.server import PORT_LIBRARY
+        from repro.motifs.tree_reduce2 import TREE_REDUCE_LIBRARY
+        from repro.strand.stdlib import STDLIB_SOURCE
+
+        ws = lint_program(
+            parse_program(PORT_LIBRARY),
+            foreign=[("server", 2)],  # supplied by the transformed user code
+        )
+        assert categories(ws).count("undefined-call") == 0
+
+        ws = lint_program(
+            parse_program(TREE_REDUCE_LIBRARY),
+            foreign=[("eval", 4), ("send", 2), ("nodes", 1), ("halt", 0)],
+            allow_pragmas=True,
+        )
+        assert categories(ws).count("undefined-call") == 0
+
+        assert lint_program(parse_program(STDLIB_SOURCE)) == []

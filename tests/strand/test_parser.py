@@ -1,0 +1,215 @@
+"""Unit tests for the parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.strand.parser import parse_program, parse_query, parse_rule, parse_term
+from repro.strand.terms import Atom, Cons, NIL, Struct, Tup, Var, deref
+
+
+class TestTerms:
+    def test_atom(self):
+        assert parse_term("foo") is Atom("foo")
+
+    def test_numbers(self):
+        assert parse_term("42") == 42
+        assert parse_term("3.5") == 3.5
+        assert parse_term("-7") == -7
+
+    def test_string(self):
+        assert parse_term('"abc"') == "abc"
+
+    def test_variable_scoping(self):
+        t = parse_term("f(X, X, Y)")
+        assert t.args[0] is t.args[1]
+        assert t.args[0] is not t.args[2]
+
+    def test_each_underscore_distinct(self):
+        t = parse_term("f(_, _)")
+        assert t.args[0] is not t.args[1]
+
+    def test_struct(self):
+        t = parse_term("tree(V, L, R)")
+        assert isinstance(t, Struct)
+        assert t.indicator == ("tree", 3)
+
+    def test_nested_struct(self):
+        t = parse_term("f(g(h(1)))")
+        assert t.args[0].args[0].functor == "h"
+
+    def test_list_sugar(self):
+        t = parse_term("[1, 2, 3]")
+        assert isinstance(t, Cons)
+        assert deref(t.head) == 1
+
+    def test_empty_list(self):
+        assert parse_term("[]") is NIL
+
+    def test_list_with_tail(self):
+        t = parse_term("[H | T]")
+        assert isinstance(t.head, Var)
+        assert isinstance(t.tail, Var)
+
+    def test_tuple(self):
+        t = parse_term("{1, a, X}")
+        assert isinstance(t, Tup)
+        assert t.arity == 3
+
+    def test_empty_tuple(self):
+        assert parse_term("{}").arity == 0
+
+    def test_quoted_atom_functor(self):
+        t = parse_term("'+'(1, 2)")
+        assert t.functor == "+"
+
+
+class TestOperators:
+    def test_assignment(self):
+        t = parse_term("X := Y + 1")
+        assert t.functor == ":="
+        assert t.args[1].functor == "+"
+
+    def test_eq_as_assignment(self):
+        assert parse_term("X = 5").functor == ":="
+
+    def test_is_as_assignment(self):
+        assert parse_term("X is 5").functor == ":="
+
+    def test_precedence_mul_over_add(self):
+        t = parse_term("1 + 2 * 3")
+        assert t.functor == "+"
+        assert t.args[1].functor == "*"
+
+    def test_left_assoc(self):
+        t = parse_term("1 - 2 - 3")
+        assert t.functor == "-"
+        assert t.args[0].functor == "-"
+
+    def test_parentheses(self):
+        t = parse_term("(1 + 2) * 3")
+        assert t.functor == "*"
+
+    def test_comparison(self):
+        t = parse_term("N > 0")
+        assert t.indicator == (">", 2)
+
+    def test_mod(self):
+        t = parse_term("X mod 3")
+        assert t.functor == "mod"
+
+    def test_intdiv(self):
+        assert parse_term("X // 2").functor == "//"
+
+    def test_placement(self):
+        t = parse_term("reduce(R, RV) @ random")
+        assert t.functor == "@"
+        assert t.args[0].indicator == ("reduce", 2)
+        assert deref(t.args[1]) is Atom("random")
+
+    def test_placement_numeric_expr(self):
+        t = parse_term("server(S) @ N")
+        assert t.functor == "@"
+
+    def test_unary_minus_expression(self):
+        t = parse_term("-X")
+        assert t.functor == "-"
+        assert t.args[0] == 0
+
+
+class TestRules:
+    def test_fact(self):
+        r = parse_rule("consumer([]).")
+        assert r.guards == []
+        assert r.body == []
+
+    def test_zero_arity_fact(self):
+        r = parse_rule("stop.")
+        assert r.indicator == ("stop", 0)
+
+    def test_rule_no_guard(self):
+        r = parse_rule("go(N) :- producer(N, Xs, sync), consumer(Xs).")
+        assert r.guards == []
+        assert len(r.body) == 2
+
+    def test_rule_with_guard(self):
+        r = parse_rule("p(N) :- N > 0 | q(N).")
+        assert len(r.guards) == 1
+        assert len(r.body) == 1
+
+    def test_multiple_guards(self):
+        r = parse_rule("p(N, M) :- N > 0, M < 9 | q.")
+        assert len(r.guards) == 2
+
+    def test_commit_bar_vs_list_bar(self):
+        r = parse_rule("p([X | Xs]) :- X > 0 | q(Xs).")
+        assert len(r.guards) == 1
+        assert isinstance(r.head.args[0], Cons)
+
+    def test_head_variable_shared_with_body(self):
+        r = parse_rule("p(X) :- q(X).")
+        assert r.head.args[0] is r.body[0].args[0]
+
+    def test_ampersand_separator(self):
+        r = parse_rule("p :- a & b.")
+        assert len(r.body) == 2
+
+    def test_negative_number_in_head(self):
+        r = parse_rule("emit1(-1, PV, Sol) :- Sol := PV.")
+        assert r.head.args[0] == -1
+
+
+class TestPrograms:
+    def test_grouping_into_procedures(self):
+        p = parse_program("p(1). p(2). q(X) :- p(X).")
+        assert len(p) == 2
+        assert len(p.procedure("p", 1).rules) == 2
+
+    def test_figure_one_parses(self):
+        from tests.helpers import FIGURE1_SOURCE
+
+        p = parse_program(FIGURE1_SOURCE)
+        assert ("go", 1) in p
+        assert ("producer", 3) in p
+        assert ("consumer", 1) in p
+        assert len(p.procedure("producer", 3).rules) == 2
+
+    def test_rule_count(self):
+        p = parse_program("a. b. c :- a, b.")
+        assert p.rule_count() == 3
+        assert p.goal_count() == 2
+
+
+class TestQueries:
+    def test_single_goal(self):
+        goals, varmap = parse_query("go(4)")
+        assert len(goals) == 1
+        assert varmap == {}
+
+    def test_conjunction_and_vars(self):
+        goals, varmap = parse_query("reduce(T, V), other(V)")
+        assert len(goals) == 2
+        assert set(varmap) == {"T", "V"}
+        assert goals[0].args[1] is goals[1].args[0]
+
+
+class TestErrors:
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(X) :- q(X)")
+
+    def test_trailing_input_term(self):
+        with pytest.raises(ParseError):
+            parse_term("f(1) g")
+
+    def test_bad_head(self):
+        with pytest.raises(ParseError):
+            parse_program("42 :- p.")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(ParseError):
+            parse_term("f(1, 2")
+
+    def test_error_reports_position(self):
+        with pytest.raises(ParseError) as err:
+            parse_program("p :- q(.")
+        assert err.value.line is not None

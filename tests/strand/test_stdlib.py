@@ -1,0 +1,111 @@
+"""Tests for the Strand standard library."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import Machine
+from repro.strand import run_query
+from repro.strand.foreign import from_python, to_python
+from repro.strand.stdlib import stdlib
+from repro.strand.terms import Atom, deref
+
+
+def call(query: str, **bindings):
+    """Run a query against the stdlib with Python-value substitutions
+    spliced in as extra unification goals."""
+    program = stdlib().copy()
+    return run_query(program, query, machine=Machine(1))
+
+
+def run1(goal_template: str, *py_args):
+    """Build e.g. run1('append_list({0}, {1}, Out)', [1,2], [3])."""
+    from repro.strand.engine import StrandEngine
+    from repro.strand.parser import parse_query
+    from repro.strand.terms import Struct
+
+    args = [from_python(a) for a in py_args]
+    goals, varmap = parse_query(goal_template)
+    # Substitute placeholders arg1..argN by position:
+    def subst(term):
+        from repro.strand.terms import Cons, Struct as S, Tup, Var, deref as d
+
+        term = d(term)
+        if isinstance(term, Var) and term.name.startswith("ARG"):
+            return args[int(term.name[3:]) - 1]
+        if isinstance(term, S):
+            return S(term.functor, [subst(a) for a in term.args])
+        if isinstance(term, Cons):
+            return Cons(subst(term.head), subst(term.tail))
+        if isinstance(term, Tup):
+            return Tup([subst(a) for a in term.args])
+        return term
+
+    engine = StrandEngine(stdlib().copy(), machine=Machine(1))
+    for goal in goals:
+        engine.spawn(subst(goal))
+    engine.run()
+    out = varmap.get("Out")
+    return to_python(out) if out is not None else None
+
+
+class TestListOps:
+    def test_append(self):
+        assert run1("append_list(ARG1, ARG2, Out)", [1, 2], [3, 4]) == [1, 2, 3, 4]
+        assert run1("append_list(ARG1, ARG2, Out)", [], [1]) == [1]
+        assert run1("append_list(ARG1, ARG2, Out)", [1], []) == [1]
+
+    def test_reverse(self):
+        assert run1("reverse_list(ARG1, Out)", [1, 2, 3]) == [3, 2, 1]
+        assert run1("reverse_list(ARG1, Out)", []) == []
+
+    def test_length(self):
+        assert run1("list_length(ARG1, Out)", [7, 8, 9]) == 3
+        assert run1("list_length(ARG1, Out)", []) == 0
+
+    def test_nth(self):
+        assert run1("nth_item(2, ARG1, Out)", [10, 20, 30]) == 20
+        assert run1("nth_item(1, ARG1, Out)", [10]) == 10
+
+    def test_member(self):
+        assert run1("member_check(20, ARG1, Out)", [10, 20]) is Atom("yes")
+        assert run1("member_check(99, ARG1, Out)", [10, 20]) is Atom("no")
+        assert run1("member_check(1, ARG1, Out)", []) is Atom("no")
+
+    def test_sum_and_max(self):
+        assert run1("sum_list(ARG1, Out)", [1, 2, 3, 4]) == 10
+        assert run1("sum_list(ARG1, Out)", []) == 0
+        assert run1("max_list(ARG1, Out)", [3, 9, 2]) == 9
+
+    def test_take_drop(self):
+        assert run1("take_n(2, ARG1, Out)", [1, 2, 3]) == [1, 2]
+        assert run1("take_n(5, ARG1, Out)", [1, 2]) == [1, 2]
+        assert run1("drop_n(2, ARG1, Out)", [1, 2, 3]) == [3]
+        assert run1("drop_n(5, ARG1, Out)", [1, 2]) == []
+
+    def test_zip(self):
+        pairs = run1("zip_lists(ARG1, ARG2, Out)", [1, 2], [Atom("a"), Atom("b"), Atom("c")])
+        assert len(pairs) == 2
+
+    def test_range(self):
+        assert run1("range_list(3, 6, Out)") == [3, 4, 5, 6]
+        assert run1("range_list(4, 3, Out)") == []
+
+
+@given(st.lists(st.integers(-100, 100), max_size=20),
+       st.lists(st.integers(-100, 100), max_size=20))
+@settings(max_examples=20, deadline=None)
+def test_append_matches_python(xs, ys):
+    assert run1("append_list(ARG1, ARG2, Out)", xs, ys) == xs + ys
+
+
+@given(st.lists(st.integers(-100, 100), max_size=20))
+@settings(max_examples=20, deadline=None)
+def test_reverse_matches_python(xs):
+    assert run1("reverse_list(ARG1, Out)", xs) == list(reversed(xs))
+
+
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=20))
+@settings(max_examples=20, deadline=None)
+def test_sum_max_match_python(xs):
+    assert run1("sum_list(ARG1, Out)", xs) == sum(xs)
+    assert run1("max_list(ARG1, Out)", xs) == max(xs)

@@ -1,0 +1,42 @@
+"""Stream helper tests."""
+
+from repro.strand.streams import PortRef, collect_stream, stream_items
+from repro.strand.terms import Atom, Cons, NIL, Var, deref
+
+
+class TestStreamItems:
+    def test_closed_stream(self):
+        s = Cons(1, Cons(2, NIL))
+        items, tail = stream_items(s)
+        assert items == [1, 2]
+        assert tail is NIL
+
+    def test_open_stream(self):
+        t = Var("T")
+        s = Cons(1, t)
+        items, tail = stream_items(s)
+        assert items == [1]
+        assert tail is t
+
+    def test_through_bound_vars(self):
+        v = Var("S")
+        v.bind(Cons(Atom("a"), NIL))
+        items, tail = stream_items(v)
+        assert items == [Atom("a")]
+
+    def test_collect_with_convert(self):
+        s = Cons(1, Cons(2, NIL))
+        assert collect_stream(s, lambda t: t * 2) == [2, 4]
+
+    def test_empty(self):
+        assert collect_stream(NIL) == []
+
+
+class TestPortRef:
+    def test_initial_state(self):
+        tail = Var("T")
+        port = PortRef(tail, owner=3, label="inbox")
+        assert port.tail is tail
+        assert port.owner == 3
+        assert not port.closed
+        assert "inbox" in repr(port)

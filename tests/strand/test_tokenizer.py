@@ -1,0 +1,100 @@
+"""Unit tests for the tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.strand.tokenizer import tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)][:-1]  # drop eof
+
+
+class TestBasicTokens:
+    def test_empty(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind == "eof"
+
+    def test_atom_and_var(self):
+        assert kinds("foo Bar _baz")[:-1] == ["atom", "var", "var"]
+
+    def test_underscore_is_var(self):
+        assert kinds("_")[0] == "var"
+
+    def test_integers(self):
+        toks = tokenize("42 007")
+        assert [t.kind for t in toks[:-1]] == ["int", "int"]
+        assert [t.text for t in toks[:-1]] == ["42", "007"]
+
+    def test_floats(self):
+        assert kinds("3.14")[0] == "float"
+        assert kinds("1e5")[0] == "float"
+        assert kinds("2.5e-3")[0] == "float"
+
+    def test_int_followed_by_clause_dot(self):
+        assert kinds("f(3).")[:-1] == ["atom", "punct", "int", "punct", "punct"]
+
+    def test_strings(self):
+        toks = tokenize('"hello world"')
+        assert toks[0].kind == "string"
+        assert toks[0].text == "hello world"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\nb"')[0].text == "a\nb"
+        assert tokenize(r'"q\"q"')[0].text == 'q"q'
+
+    def test_quoted_atom(self):
+        toks = tokenize("'hello world'")
+        assert toks[0].kind == "atom"
+        assert toks[0].text == "hello world"
+
+    def test_symbols_longest_match(self):
+        assert texts("X := Y") == ["X", ":=", "Y"]
+        assert texts("a :- b") == ["a", ":-", "b"]
+        assert texts("X =< Y >= Z") == ["X", "=<", "Y", ">=", "Z"]
+        assert texts("X =\\= Y") == ["X", "=\\=", "Y"]
+
+    def test_comma_bar_brackets(self):
+        assert texts("[a|B]") == ["[", "a", "|", "B", "]"]
+        assert texts("{1, 2}") == ["{", "1", ",", "2", "}"]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("a % comment\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("/* never ends")
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize('"never ends')
+
+    def test_unterminated_quoted_atom(self):
+        with pytest.raises(ParseError):
+            tokenize("'never ends")
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_error_position(self):
+        with pytest.raises(ParseError) as err:
+            tokenize("abc\n  #")
+        assert err.value.line == 2
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a ~ b")

@@ -1,0 +1,128 @@
+"""Cross-module integration tests: whole-paper scenarios end to end."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.arithmetic import arithmetic_tree, eval_arith_node, heavy_tailed_cost
+from repro.apps.bio import align_cost, align_node, alignment_workload, sum_of_pairs
+from repro.apps.trees import sequential_reduce
+from repro.core.api import reduce_tree
+from repro.machine import Machine
+
+
+class TestAllStrategiesAgree:
+    """E2's essence: every parallel strategy equals the sequential fold."""
+
+    @given(
+        leaves=st.integers(2, 10),
+        tree_seed=st.integers(0, 10**6),
+        processors=st.integers(1, 5),
+        seed=st.integers(0, 10**6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_agreement_property(self, leaves, tree_seed, processors, seed):
+        tree = arithmetic_tree(leaves, seed=tree_seed)
+        expected = sequential_reduce(tree, eval_arith_node)
+        for strategy in ("tr1", "tr2", "static"):
+            result = reduce_tree(tree, eval_arith_node, processors=processors,
+                                 strategy=strategy, seed=seed)
+            assert result.value == expected, strategy
+
+
+class TestAlignmentPipeline:
+    def test_alignment_schedule_independent(self):
+        """E10: the alignment (and its quality score) must not depend on
+        the parallel schedule."""
+        family, tree = alignment_workload(n_sequences=7, root_length=24, seed=8)
+        reference = sequential_reduce(tree, align_node)
+        ref_score = sum_of_pairs(reference)
+        for strategy, processors, seed in [
+            ("tr1", 3, 1), ("tr1", 5, 2), ("tr2", 3, 1), ("tr2", 5, 9),
+            ("static", 4, 0),
+        ]:
+            result = reduce_tree(tree, align_node, processors=processors,
+                                 strategy=strategy, seed=seed,
+                                 eval_cost=align_cost)
+            assert result.value == reference, (strategy, processors)
+            assert sum_of_pairs(result.value) == ref_score
+
+    def test_alignment_contains_all_sequences(self):
+        family, tree = alignment_workload(n_sequences=5, root_length=20, seed=3)
+        result = reduce_tree(tree, align_node, processors=4, strategy="tr2",
+                             eval_cost=align_cost)
+        stripped = sorted(r.replace("-", "") for r in result.value)
+        assert stripped == sorted(family.sequences)
+
+
+class TestTopologiesAndLatencies:
+    @pytest.mark.parametrize("topology", ["full", "ring", "mesh", "hypercube"])
+    def test_correct_under_every_topology(self, topology):
+        tree = arithmetic_tree(16, seed=5)
+        expected = sequential_reduce(tree, eval_arith_node)
+        machine = Machine(4, topology=topology, seed=2)
+        result = reduce_tree(tree, eval_arith_node, processors=4,
+                             strategy="tr1", machine=machine)
+        assert result.value == expected
+
+    def test_slower_network_longer_makespan(self):
+        tree = arithmetic_tree(24, seed=6)
+        fast = Machine(4, seed=1, startup_latency=1.0)
+        slow = Machine(4, seed=1, startup_latency=50.0)
+        r_fast = reduce_tree(tree, eval_arith_node, strategy="tr1", machine=fast)
+        r_slow = reduce_tree(tree, eval_arith_node, strategy="tr1", machine=slow)
+        assert r_slow.metrics.makespan > r_fast.metrics.makespan
+        assert r_fast.value == r_slow.value
+
+
+class TestHeavyTailedWorkloads:
+    def test_all_strategies_correct_under_skewed_costs(self):
+        tree = arithmetic_tree(20, seed=7)
+        expected = sequential_reduce(tree, eval_arith_node)
+        cost = heavy_tailed_cost(seed=4)
+        for strategy in ("tr1", "tr2", "static"):
+            result = reduce_tree(tree, eval_arith_node, processors=4,
+                                 strategy=strategy, seed=3, eval_cost=cost)
+            assert result.value == expected, strategy
+
+    def test_dynamic_beats_static_on_irregular_trees(self):
+        """E6's crossover, one point each way (the benchmark sweeps it):
+
+        * balanced tree + uniform costs — "a static partition of the tree
+          is probably ideal in the simple arithmetic example" (§3.1);
+        * irregular (random-split, phylogeny-like) tree — "our biology
+          application requires a more dynamic algorithm".
+        """
+        from repro.apps.arithmetic import uniform_cost
+
+        cost = uniform_cost(100.0)
+
+        balanced = arithmetic_tree(128, seed=13, shape="balanced")
+        tr1_b = reduce_tree(balanced, eval_arith_node, processors=8,
+                            strategy="tr1", seed=2, eval_cost=cost).metrics
+        st_b = reduce_tree(balanced, eval_arith_node, processors=8,
+                           strategy="static", seed=2, eval_cost=cost).metrics
+        assert st_b.makespan < tr1_b.makespan  # static ideal when regular
+
+        irregular = arithmetic_tree(128, seed=13, shape="random")
+        tr1_i = reduce_tree(irregular, eval_arith_node, processors=8,
+                            strategy="tr1", seed=2, eval_cost=cost).metrics
+        st_i = reduce_tree(irregular, eval_arith_node, processors=8,
+                           strategy="static", seed=2, eval_cost=cost).metrics
+        assert tr1_i.makespan < st_i.makespan  # dynamic wins when irregular
+
+
+class TestScaleUp:
+    def test_larger_trees_still_correct(self):
+        tree = arithmetic_tree(200, seed=17)
+        expected = sequential_reduce(tree, eval_arith_node)
+        result = reduce_tree(tree, eval_arith_node, processors=8,
+                             strategy="tr1", seed=2)
+        assert result.value == expected
+
+    def test_tr2_larger_tree(self):
+        tree = arithmetic_tree(100, seed=18)
+        expected = sequential_reduce(tree, eval_arith_node)
+        result = reduce_tree(tree, eval_arith_node, processors=8,
+                             strategy="tr2", seed=2)
+        assert result.value == expected
+        assert result.metrics.max_peak_live_tasks == 1

@@ -1,0 +1,165 @@
+"""Property-based tests over the transformation engine: random programs in,
+structural invariants out."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.motifs.random_map import RandTransformation
+from repro.motifs.server import server_transformation
+from repro.motifs.termination import ShortCircuit
+from repro.strand.parser import parse_program
+from repro.strand.pretty import format_program
+from repro.strand.program import Program, Rule
+from repro.strand.terms import Atom, Struct, Var
+from repro.transform.callgraph import CallGraph
+from repro.transform.rewrite import goal_indicator, strip_placement
+
+# ---------------------------------------------------------------------------
+# Random-program generator: a layered call structure with optional op calls
+# and pragmas, guaranteed parseable and acyclic.
+# ---------------------------------------------------------------------------
+
+_names = st.sampled_from([f"p{i}" for i in range(8)])
+
+
+@st.composite
+def programs(draw):
+    n_procs = draw(st.integers(2, 6))
+    names = [f"p{i}" for i in range(n_procs)]
+    program = Program(name="random")
+    for level, name in enumerate(names):
+        n_rules = draw(st.integers(1, 2))
+        for _ in range(n_rules):
+            arity = draw(st.integers(0, 3))
+            head = Struct(name, tuple(Var(f"A{j}") for j in range(arity)))
+            body = []
+            # Call only procedures later in the list (acyclic, all defined).
+            callees = names[level + 1:]
+            for _ in range(draw(st.integers(0, 3))):
+                if callees and draw(st.booleans()):
+                    callee = draw(st.sampled_from(callees))
+                    callee_arity = draw(st.integers(0, 2))
+                    goal = Struct(callee, tuple(Var(f"B{j}") for j in range(callee_arity)))
+                    if draw(st.booleans()):
+                        goal = Struct("@", (goal, Atom("random")))
+                    body.append(goal)
+                elif draw(st.booleans()):
+                    body.append(Struct("send", (1, Atom("msg"))))
+                else:
+                    body.append(Struct(":=", (Var("X"), draw(st.integers(0, 9)))))
+            program.add_rule(Rule(head, [], body))
+    return program
+
+
+@given(programs())
+@settings(max_examples=40, deadline=None)
+def test_server_transformation_invariants(program):
+    """ThreadArgument: rule count preserved; exactly the transitive callers
+    of ops gain one argument; no op calls survive.  Arity-shift collisions
+    (an affected p/k next to an unaffected p/k+1) are refused explicitly."""
+    from repro.errors import TransformError
+
+    t = server_transformation()
+    before_rules = program.rule_count()
+    graph = CallGraph(program)
+    affected = graph.callers_of({("send", 2), ("nodes", 1), ("halt", 0)})
+    defined = set(program.indicators)
+    collision = any(
+        (name, arity + 1) in defined and (name, arity + 1) not in affected
+        for name, arity in affected
+    )
+    if collision:
+        try:
+            t.apply(program)
+        except TransformError as e:
+            assert "collide" in str(e)
+            return
+        raise AssertionError("collision not detected")
+    out = t.apply(program)
+    assert out.rule_count() == before_rules
+    for name, arity in program.indicators:
+        if (name, arity) in affected:
+            assert (name, arity + 1) in out
+            # The slot p/k is vacated unless p/k-1 was also affected and
+            # shifted into it (the legal chain-shift case).
+            if (name, arity - 1) not in affected:
+                assert (name, arity) not in out
+        else:
+            # Unaffected procedures keep their arity (the generated program
+            # never defines server/1, so the also_thread clause is moot here).
+            assert (name, arity) in out
+    for rule in out.rules():
+        for goal in rule.body:
+            assert goal_indicator(goal) not in {("send", 2), ("nodes", 1), ("halt", 0)}
+
+
+@given(programs())
+@settings(max_examples=40, deadline=None)
+def test_server_transformation_output_reparses(program):
+    from repro.errors import TransformError
+
+    try:
+        out = server_transformation().apply(program)
+    except TransformError:
+        return  # arity-shift collision: refusal is the contract
+    text = format_program(out)
+    reparsed = parse_program(text)
+    assert format_program(reparsed) == text
+
+
+@given(programs())
+@settings(max_examples=40, deadline=None)
+def test_rand_erases_all_pragmas(program):
+    from repro.errors import TransformError
+
+    try:
+        out = RandTransformation(extra_entries=(("p0", 0),)).apply(program)
+    except TransformError:
+        return  # no pragma and no entries: rejection is the contract
+    for rule in out.rules():
+        for goal in rule.body:
+            _, where = strip_placement(goal)
+            assert where is not Atom("random")
+
+
+@given(programs())
+@settings(max_examples=40, deadline=None)
+def test_rand_generates_dispatch_per_annotated_type(program):
+    annotated = set()
+    for rule in program.rules():
+        for goal in rule.body:
+            inner, where = strip_placement(goal)
+            if where is Atom("random"):
+                annotated.add(inner.indicator)
+    if not annotated:
+        return
+    out = RandTransformation().apply(program)
+    server = out.procedure("server", 1)
+    assert server is not None
+    # one rule per annotated type + halt + eos
+    assert len(server.rules) == len(annotated) + 2
+
+
+@given(programs())
+@settings(max_examples=30, deadline=None)
+def test_short_circuit_adds_two_args_to_reachable(program):
+    entry = ("p0", program.procedure("p0", 0).arity if program.procedure("p0", 0) else None)
+    # find some defined p0 arity
+    arities = [ind[1] for ind in program.indicators if ind[0] == "p0"]
+    if not arities:
+        return
+    entry = ("p0", arities[0])
+    from repro.errors import TransformError
+
+    graph = CallGraph(program)
+    reachable = graph.reachable_from({entry}) & set(program.indicators)
+    try:
+        out = ShortCircuit(entry=entry).apply(program)
+    except TransformError:
+        return  # arity-shift collision: refusal is the contract
+    for name, arity in reachable:
+        assert (name, arity + 2) in out
+        # The slot is vacated unless p/k-2 was also threaded into it.
+        if (name, arity - 2) not in reachable:
+            assert (name, arity) not in out
