@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.strand.compile import symbol_table
 from repro.strand.pretty import format_program
 from repro.strand.program import Program
 
@@ -40,13 +41,15 @@ class ProgramSize:
 
 
 def measure(program: Program) -> ProgramSize:
-    """Measure a whole program."""
+    """Measure a whole program (rule/goal counts come from the shared
+    interned symbol table, cached per program version)."""
+    table = symbol_table(program)
     text = format_program(program)
     lines = [ln for ln in text.splitlines() if ln.strip() and not ln.strip().startswith("%")]
     return ProgramSize(
-        procedures=len(program),
-        rules=program.rule_count(),
-        goals=program.goal_count(),
+        procedures=len(table),
+        rules=table.total_rules(),
+        goals=table.total_goals(),
         lines=len(lines),
     )
 

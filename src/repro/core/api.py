@@ -18,9 +18,10 @@ model.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Any, Callable, Iterable
 
-from repro.core.motif import AppliedMotif, Motif
+from repro.core.motif import AppliedMotif, Motif, library_from_source
 from repro.errors import ReproError
 from repro.machine.metrics import MachineMetrics
 from repro.machine.simulator import Machine
@@ -54,26 +55,59 @@ class RunResult:
     applied: AppliedMotif
 
 
+# Motif stacks are stateless apart from their application memo, so one
+# instance per parameterization lets repeated ``reduce_tree`` calls share
+# parsed libraries, applied programs, and (transitively) compiled programs.
+@lru_cache(maxsize=None)
+def _tr1_stack(server_library: str, termination: bool) -> Motif:
+    return tree_reduce_1(server_library=server_library, termination=termination)
+
+
+@lru_cache(maxsize=None)
+def _tr2_stack(server_library: str) -> Motif:
+    return tree_reduce_2(server_library=server_library)
+
+
+@lru_cache(maxsize=None)
+def _static_stack() -> Motif:
+    return static_tree_motif()
+
+
+@lru_cache(maxsize=None)
+def _sequential_stack() -> Motif:
+    return sequential_tree_motif()
+
+
+@lru_cache(maxsize=None)
+def _empty_application(name: str) -> Program:
+    """A shared, never-mutated empty application program.  One object per
+    name keeps motif-application caches keyed on a stable identity across
+    ``reduce_tree`` calls with Python-callable evaluators."""
+    return Program(name=name)
+
+
 def as_application(evaluator: str | Callable | Program, name: str = "application",
                    cost: float | Callable[..., float] = 1.0
                    ) -> tuple[Program, Callable[[ForeignRegistry], None] | None]:
     """Normalize a user-supplied node evaluator into ``(program, foreign_setup)``.
 
-    * Strand source / :class:`Program` → the application program itself;
-    * Python callable → an empty application plus a hook registering it as
-      the foreign procedure ``eval/4`` with the given cost model.
+    * Strand source / :class:`Program` → the application program itself
+      (source text is parsed once per process; transformations never
+      mutate their input, so the program object is shared);
+    * Python callable → a shared empty application plus a hook registering
+      it as the foreign procedure ``eval/4`` with the given cost model.
     """
     if isinstance(evaluator, Program):
-        return evaluator.copy(name=name), None
+        return evaluator, None
     if isinstance(evaluator, str):
-        return parse_program(evaluator, name=name), None
+        return library_from_source(evaluator, name=name), None
     if callable(evaluator):
         fn = evaluator
 
         def setup(registry: ForeignRegistry) -> None:
             registry.register("eval", 4, fn, cost=cost)
 
-        return Program(name=name), setup
+        return _empty_application(name), setup
     raise ReproError(f"cannot use {evaluator!r} as a node evaluator")
 
 
@@ -148,7 +182,7 @@ def reduce_tree(
     watched = [("eval", 4)] if watch_eval else []
 
     if strategy == "tr1":
-        motif = tree_reduce_1(server_library=server_library, termination=termination)
+        motif = _tr1_stack(server_library, termination)
         applied = motif.apply(application)
         if termination:
             inner = Struct("boot", (trees.tree_term(tree), value_var, Var("Done")))
@@ -156,7 +190,7 @@ def reduce_tree(
             inner = Struct("reduce", (trees.tree_term(tree), value_var))
         goal: Term = Struct("create", (machine.size, inner))
     elif strategy == "tr2":
-        motif = tree_reduce_2(server_library=server_library)
+        motif = _tr2_stack(server_library)
         applied = motif.apply(application)
         import random as _random
 
@@ -165,11 +199,11 @@ def reduce_tree(
         )
         goal = Struct("create", (machine.size, Struct("init", (table, value_var))))
     elif strategy == "static":
-        motif = static_tree_motif()
+        motif = _static_stack()
         applied = motif.apply(application)
         goal = Struct("sreduce", (trees.tree_term(tree), value_var, 1, machine.size))
     else:  # sequential
-        motif = sequential_tree_motif()
+        motif = _sequential_stack()
         applied = motif.apply(application)
         goal = Struct("reduce_seq", (trees.tree_term(tree), value_var))
 

@@ -13,6 +13,23 @@ Beyond the pair, a :class:`Motif` carries the *runtime metadata* an engine
 needs to execute its output faithfully: which procedures are perpetual
 services (so quiescence detection can close their ports), which foreign
 procedures its library expects, and which query shape starts a computation.
+
+Caching
+-------
+Motif application sits on the hot path of every run (``reduce_tree`` builds
+a fresh stack per call), so this layer memoizes at two levels:
+
+* **library parsing** — :func:`library_from_source` parses each distinct
+  library source once per process;
+* **motif outputs** — ``Motif.apply`` caches the transformed-and-linked
+  result keyed by the *identity and version* of the input program, so
+  re-applying a (composed) stack to the same application re-uses the same
+  output :class:`Program` object — which in turn lets the engine's
+  compile-layer cache (:func:`repro.strand.compile.compile_program`) hit.
+
+Transformations are pure (they never mutate their input), so sharing cached
+programs is safe; callers receive a :meth:`AppliedMotif.fork` so appending
+foreign hooks or user names never pollutes the cache.
 """
 
 from __future__ import annotations
@@ -26,12 +43,43 @@ from repro.strand.parser import parse_program
 from repro.strand.program import Program
 from repro.transform.transformation import Identity, Transformation
 
-__all__ = ["Motif", "ComposedMotif", "AppliedMotif", "library_from_source"]
+__all__ = [
+    "Motif",
+    "ComposedMotif",
+    "AppliedMotif",
+    "library_from_source",
+    "MOTIF_STATS",
+    "reset_motif_stats",
+]
+
+#: Process-wide counters observable by tests and benchmarks.
+MOTIF_STATS = {
+    "library_parses": 0,
+    "library_hits": 0,
+    "apply_calls": 0,
+    "apply_hits": 0,
+}
+
+_LIBRARY_CACHE: dict[tuple[str, str], Program] = {}
+
+
+def reset_motif_stats() -> None:
+    for key in MOTIF_STATS:
+        MOTIF_STATS[key] = 0
 
 
 def library_from_source(source: str, name: str) -> Program:
-    """Parse a library program from Strand source text."""
-    return parse_program(source, name=name)
+    """Parse a library program from Strand source text (memoized: each
+    distinct ``(name, source)`` pair is parsed once per process)."""
+    key = (name, source)
+    cached = _LIBRARY_CACHE.get(key)
+    if cached is not None:
+        MOTIF_STATS["library_hits"] += 1
+        return cached
+    MOTIF_STATS["library_parses"] += 1
+    program = parse_program(source, name=name)
+    _LIBRARY_CACHE[key] = program
+    return program
 
 
 @dataclass
@@ -54,6 +102,17 @@ class AppliedMotif:
         return {
             ind for ind in self.program.indicators if ind[0] not in self.user_names
         }
+
+    def fork(self) -> "AppliedMotif":
+        """A caller-owned copy sharing the (immutable-by-convention) program
+        but with private metadata containers, so appending foreign hooks or
+        user names never pollutes a cached application result."""
+        return AppliedMotif(
+            program=self.program,
+            services=set(self.services),
+            foreign_setup=list(self.foreign_setup),
+            user_names=set(self.user_names),
+        )
 
     def make_foreign(self, base: ForeignRegistry | None = None) -> ForeignRegistry:
         registry = base.copy() if base is not None else ForeignRegistry()
@@ -101,10 +160,42 @@ class Motif:
         self.library = library
         self.services = set(services)
         self.foreign_setup = foreign_setup
+        # Application memo: (id(input), program version) -> canonical
+        # AppliedMotif.  ``_apply_pins`` holds strong references to the
+        # keyed inputs so ids are never recycled under the cache.
+        self._apply_cache: dict[tuple[int, int], AppliedMotif] = {}
+        self._apply_pins: list[Program | AppliedMotif] = []
 
     # -- application ---------------------------------------------------------
     def apply(self, application: Program | AppliedMotif) -> AppliedMotif:
-        """``M(A) = T(A) ∪ L`` with metadata accumulation."""
+        """``M(A) = T(A) ∪ L`` with metadata accumulation.
+
+        Memoized on the identity (and version) of ``application``: applying
+        the same motif to the same program twice performs the
+        transformation, linking, and library parsing once.  The returned
+        :class:`AppliedMotif` is a fork, safe for the caller to extend.
+        """
+        return self._apply_cached(application).fork()
+
+    def _apply_cached(self, application: Program | AppliedMotif) -> AppliedMotif:
+        """The canonical (shared, do-not-mutate) application result."""
+        MOTIF_STATS["apply_calls"] += 1
+        program = (
+            application.program
+            if isinstance(application, AppliedMotif)
+            else application
+        )
+        key = (id(application), program.version)
+        hit = self._apply_cache.get(key)
+        if hit is not None:
+            MOTIF_STATS["apply_hits"] += 1
+            return hit
+        result = self._apply_impl(application)
+        self._apply_cache[key] = result
+        self._apply_pins.append(application)
+        return result
+
+    def _apply_impl(self, application: Program | AppliedMotif) -> AppliedMotif:
         if isinstance(application, Program):
             applied = AppliedMotif(
                 program=application,
@@ -157,10 +248,12 @@ class ComposedMotif(Motif):
         super().__init__(name=name)
         self.pipeline = flat
 
-    def apply(self, application: Program | AppliedMotif) -> AppliedMotif:
+    def _apply_impl(self, application: Program | AppliedMotif) -> AppliedMotif:
         applied = application
         for motif in self.pipeline:
-            applied = motif.apply(applied)
+            # Chain through the canonical results so each stage's memo is
+            # keyed on a stable object identity across repeated applies.
+            applied = motif._apply_cached(applied)
         return applied
 
     def apply_staged(self, application: Program) -> list[AppliedMotif]:
@@ -169,8 +262,8 @@ class ComposedMotif(Motif):
         stages: list[AppliedMotif] = []
         applied: Program | AppliedMotif = application
         for motif in self.pipeline:
-            applied = motif.apply(applied)
-            stages.append(applied)
+            applied = motif._apply_cached(applied)
+            stages.append(applied.fork())
         return stages
 
     def compose(self, inner: "Motif") -> "ComposedMotif":

@@ -16,6 +16,14 @@ Quick taste (Figure 1 of the paper)::
     run_query(program, "go(4)")
 """
 
+from repro.strand.compile import (
+    CompiledProcedure,
+    CompiledProgram,
+    CompiledRule,
+    SymbolTable,
+    compile_program,
+    symbol_table,
+)
 from repro.strand.engine import Process, QueryResult, StrandEngine, run_query
 from repro.strand.lint import LintWarning, lint_program
 from repro.strand.stdlib import STDLIB_SOURCE, stdlib
@@ -71,6 +79,12 @@ __all__ = [
     "Process",
     "QueryResult",
     "run_query",
+    "CompiledProgram",
+    "CompiledProcedure",
+    "CompiledRule",
+    "SymbolTable",
+    "compile_program",
+    "symbol_table",
     "lint_program",
     "LintWarning",
     "stdlib",

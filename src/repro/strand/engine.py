@@ -1,19 +1,28 @@
-"""The Strand reduction engine on the virtual multicomputer.
+"""The Strand runtime facade on the virtual multicomputer.
 
 Semantics (paper §2.1): "The state of a computation is represented by a pool
 of lightweight processes.  Execution proceeds by repeatedly selecting and
 attempting to reduce processes in this pool.  ...  The availability of data
 serves as the synchronization mechanism."
 
-Scheduling model
-----------------
-Each process lives on one virtual processor.  A processor executes one
-reduction at a time; a reduction costs virtual time (1.0 by default, or a
-foreign procedure's declared cost).  The engine is a discrete-event
-simulator: a global event heap orders processors by the earliest time they
-can next execute, and per-processor heaps order processes by readiness.
-Remote interactions (spawning with ``@ J``, port sends, and bindings read by
-a process on another processor) are delivered with the network's latency.
+Architecture
+------------
+The runtime is a pipeline: *parse → transform → compile → schedule/reduce*
+(see ``docs/INTERNALS.md``).  :class:`StrandEngine` is the facade that wires
+the pieces together:
+
+* the **compile layer** (:mod:`repro.strand.compile`) lowers the program to
+  a :class:`CompiledProgram` — interned indicator tables, per-rule match and
+  guard plans, and order-preserving first-argument rule indexing;
+* the **scheduler** (:mod:`repro.strand.scheduler`) is a discrete-event
+  simulator: a global event heap orders processors by the earliest time they
+  can next execute, and per-processor heaps order processes by readiness;
+* the **reducer** (:mod:`repro.strand.reducer`) performs one reduction
+  attempt: builtin, foreign, or compiled user-rule dispatch.
+
+The engine itself keeps the parts builtins interact with: binding (with
+wakeups), ports, spawning (local and remote with the network's latency),
+and the quiescence policy for declared services.
 
 Everything is deterministic given the machine seed: ties break on a
 monotone sequence number.
@@ -21,28 +30,31 @@ monotone sequence number.
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
 from typing import Any, Iterable
 
 from repro.errors import (
-    DeadlockError,
     DoubleAssignmentError,
-    ProcessFailureError,
     StrandError,
-    UnknownProcedureError,
 )
 from repro.machine.metrics import MachineMetrics
 from repro.machine.simulator import Machine
-from repro.strand.arith import Suspend
 from repro.strand.builtins import BUILTINS
-from repro.strand.foreign import ForeignRegistry, NotGround, from_python, to_python
-from repro.strand.match import MatchResult, eval_guards, instantiate, match_head
+from repro.strand.compile import CompiledProgram, compile_program
+from repro.strand.foreign import ForeignRegistry, to_python
 from repro.strand.parser import parse_query
 from repro.strand.program import Program
+from repro.strand.reducer import Reducer
+from repro.strand.scheduler import DONE, RUNNABLE, SUSPENDED, Process, Scheduler
 from repro.strand.streams import PortRef
 from repro.strand.terms import Atom, Cons, NIL, Struct, Term, Var, deref, term_eq
 
 __all__ = ["Process", "StrandEngine", "QueryResult", "run_query"]
+
+# Backwards-compatible aliases for the process states now defined in the
+# scheduler module.
+_RUNNABLE = RUNNABLE
+_SUSPENDED = SUSPENDED
+_DONE = DONE
 
 
 def _msg_tag(msg: Term) -> str:
@@ -53,31 +65,6 @@ def _msg_tag(msg: Term) -> str:
     if type(msg) is Atom:
         return msg.name
     return type(msg).__name__.lower()
-
-_RUNNABLE = 0
-_SUSPENDED = 1
-_DONE = 2
-
-
-class Process:
-    """One lightweight process: a goal plus scheduling state."""
-
-    __slots__ = ("goal", "proc", "ready", "state", "seq", "lib", "watched")
-
-    def __init__(self, goal: Struct, proc: int, ready: float, seq: int,
-                 lib: bool, watched: bool):
-        self.goal = goal
-        self.proc = proc
-        self.ready = ready
-        self.state = _RUNNABLE
-        self.seq = seq
-        self.lib = lib
-        self.watched = watched
-
-    def describe(self) -> str:
-        from repro.strand.pretty import format_term
-
-        return f"p{self.proc}: {format_term(self.goal)}"
 
 
 class QueryResult:
@@ -104,7 +91,9 @@ class StrandEngine:
     Parameters
     ----------
     program:
-        The (already motif-transformed) program to run.
+        The (already motif-transformed) program to run; compiled on entry
+        (cached per program instance, so re-running the same program pays
+        compilation once).
     machine:
         Virtual multicomputer; defaults to a single processor.
     foreign:
@@ -121,6 +110,10 @@ class StrandEngine:
         has gone quiet, the engine closes all ports so services can
         terminate — the engine-level complement of the short-circuit
         termination motif.
+    indexing:
+        When False, rule selection falls back to a linear scan over the
+        compiled rules (the benchmark ablation switch); semantics are
+        identical either way.
     """
 
     def __init__(
@@ -135,6 +128,7 @@ class StrandEngine:
         max_reductions: int = 5_000_000,
         auto_close_ports: bool = True,
         reduction_cost: float = 1.0,
+        indexing: bool = True,
     ):
         self.program = program
         self.machine = machine or Machine(1)
@@ -146,27 +140,29 @@ class StrandEngine:
         self.auto_close_ports = auto_close_ports
         self.reduction_cost = reduction_cost
 
+        self.compiled: CompiledProgram = compile_program(program, index=indexing)
+        self.scheduler = Scheduler(self.machine, max_reductions)
+        self.reducer = Reducer(
+            self, self.compiled, self.foreign, reduction_cost=reduction_cost
+        )
+
         self.output: list[str] = []
         self.ports: list[PortRef] = []
-        self._procs_cache = {p.indicator: p for p in program}
-        size = self.machine.size
-        self._queues: list[list] = [[] for _ in range(size)]
-        self._events: list = []
-        # One live event marker per processor (None = none outstanding).
-        self._event_time: list[float | None] = [None] * size
-        self._seq = 0
-        self._suspended: dict[int, Process] = {}
-        self._reduction_budget = max_reductions
         self._ports_closed = False
-        self._live = 0
+        self._quiesce_closes = 0
+
+    # -- compatibility views over the scheduler's state -----------------
+    @property
+    def _suspended(self) -> dict[int, Process]:
+        return self.scheduler.suspended
+
+    @property
+    def _live(self) -> int:
+        return self.scheduler.live
 
     # ------------------------------------------------------------------
-    # Spawning, suspension, wakeup
+    # Spawning
     # ------------------------------------------------------------------
-    def _next_seq(self) -> int:
-        self._seq += 1
-        return self._seq
-
     def spawn(self, goal: Term, proc: int = 1, ready: float = 0.0,
               lib: bool | None = None) -> Process:
         """Add a process to the pool on processor ``proc`` (1-based)."""
@@ -179,13 +175,14 @@ class StrandEngine:
         if lib is None:
             lib = indicator in self.library
         watched = indicator in self.watched
-        process = Process(goal, proc, ready, self._next_seq(), lib, watched)
+        scheduler = self.scheduler
+        process = Process(goal, proc, ready, scheduler.next_seq(), lib, watched)
         vp = self.machine.procs[proc - 1]
         vp.spawns += 1
         if watched:
             vp.task_spawned()
-        self._live += 1
-        self._push(process)
+        scheduler.live += 1
+        scheduler.push(process)
         self.machine.trace.record(ready, proc, "spawn", goal.functor)
         return process
 
@@ -207,52 +204,6 @@ class StrandEngine:
         if type(goal_d) is Struct and goal_d.indicator in BUILTINS:
             indicator_lib = lib
         return self.spawn(goal, dst, ready=now + latency, lib=indicator_lib)
-
-    def _push(self, process: Process) -> None:
-        heappush(self._queues[process.proc - 1], (process.ready, process.seq, process))
-        clock = self.machine.procs[process.proc - 1].clock
-        self._schedule(process.proc, max(process.ready, clock))
-
-    def _schedule(self, pnum: int, time: float) -> None:
-        """Ensure the event heap holds a marker for processor ``pnum`` at or
-        before ``time``.  One live marker per processor keeps the heap
-        O(P + transitions) instead of O(runnable × clock-advances)."""
-        current = self._event_time[pnum - 1]
-        if current is None or time < current:
-            self._event_time[pnum - 1] = time
-            heappush(self._events, (time, self._next_seq(), pnum))
-
-    def _schedule_from_queue(self, pnum: int) -> None:
-        queue = self._queues[pnum - 1]
-        if queue:
-            clock = self.machine.procs[pnum - 1].clock
-            self._schedule(pnum, max(queue[0][0], clock))
-
-    def _suspend(self, process: Process, variables: list[Var], now: float = 0.0) -> None:
-        if not variables:
-            raise StrandError(f"process suspended on no variables: {process.describe()}")
-        real = []
-        seen: set[int] = set()
-        for var in variables:
-            var = deref(var)
-            if type(var) is not Var or id(var) in seen:
-                continue
-            seen.add(id(var))
-            real.append(var)
-        if not real:
-            # Every blocker got bound while we were deciding — retry soon.
-            process.ready = now
-            self._push(process)
-            return
-        process.state = _SUSPENDED
-        self._suspended[id(process)] = process
-        for var in real:
-            if var.waiters is None:
-                var.waiters = []
-            var.waiters.append(process)
-        vp = self.machine.procs[process.proc - 1]
-        vp.suspensions += 1
-        self.machine.trace.record(now, process.proc, "suspend", process.goal.functor)
 
     # ------------------------------------------------------------------
     # Binding
@@ -281,7 +232,7 @@ class StrandEngine:
                     value_d.waiters.extend(waiters)
             return
         if waiters:
-            self._wake(waiters, proc, now)
+            self.scheduler.wake(waiters, proc, now)
 
     def double_assignment(self, target: Term, value: Term, process: Process | None):
         from repro.strand.pretty import format_term
@@ -291,26 +242,6 @@ class StrandEngine:
             f"assignment to bound value {format_term(target)} "
             f"(new value {format_term(value)}){where}"
         )
-
-    def _wake(self, waiters: list[Process], binder_proc: int, now: float) -> None:
-        machine = self.machine
-        procs = machine.procs
-        for process in waiters:
-            if process.state != _SUSPENDED:
-                continue
-            process.state = _RUNNABLE
-            self._suspended.pop(id(process), None)
-            if binder_proc != process.proc:
-                latency = machine.latency(binder_proc, process.proc)
-                vp = procs[binder_proc - 1]
-                vp.remote_bindings += 1
-                vp.hops += machine.hops(binder_proc, process.proc)
-            else:
-                latency = 0.0
-            process.ready = now + latency
-            procs[process.proc - 1].wakeups += 1
-            self._push(process)
-            machine.trace.record(now, process.proc, "wake", process.goal.functor)
 
     # ------------------------------------------------------------------
     # Ports
@@ -357,50 +288,8 @@ class StrandEngine:
         """Run until the pool drains.  Raises :class:`DeadlockError` if
         suspended processes remain that cannot be resolved by closing
         ports, and :class:`ProcessFailureError` on unmatched processes."""
-        machine = self.machine
-        procs = machine.procs
-        events = self._events
-        queues = self._queues
-        event_time = self._event_time
-        while True:
-            while events:
-                time, _, pnum = heappop(events)
-                if event_time[pnum - 1] != time:
-                    continue  # stale duplicate marker
-                event_time[pnum - 1] = None
-                queue = queues[pnum - 1]
-                if not queue:
-                    continue
-                vp = procs[pnum - 1]
-                actual = queue[0][0]
-                if vp.clock > actual:
-                    actual = vp.clock
-                if actual > time:
-                    self._schedule(pnum, actual)
-                    continue
-                _, _, process = heappop(queue)
-                if process.state != _RUNNABLE:
-                    self._schedule_from_queue(pnum)
-                    continue
-                self._reduction_budget -= 1
-                if self._reduction_budget < 0:
-                    raise StrandError(
-                        f"reduction budget of {self.max_reductions} exhausted "
-                        f"(possible runaway recursion)"
-                    )
-                cost = self._execute(process, actual)
-                if cost is None:
-                    self._schedule_from_queue(pnum)
-                    continue  # suspended; costs nothing
-                vp.clock = actual + cost
-                vp.busy += cost
-                vp.reductions += 1
-                self._schedule_from_queue(pnum)
-            if not self._suspended:
-                break
-            if not self._try_quiesce():
-                self._deadlock()
-        return machine.metrics()
+        self.scheduler.run(self.reducer.execute, self._try_quiesce)
+        return self.machine.metrics()
 
     def _try_quiesce(self) -> bool:
         """All runnable work is gone but suspensions remain.  If every
@@ -408,138 +297,15 @@ class StrandEngine:
         services can see end-of-stream and finish."""
         if self._ports_closed or not self.auto_close_ports:
             return False
-        for process in self._suspended.values():
+        for process in self.scheduler.suspended.values():
             if process.goal.indicator not in self.services:
                 return False
         now = max(p.clock for p in self.machine.procs)
-        return self.close_all_ports(now) > 0
-
-    def _deadlock(self) -> None:
-        goals = [p.describe() for p in list(self._suspended.values())[:12]]
-        more = len(self._suspended) - len(goals)
-        listing = "\n  ".join(goals) + (f"\n  ... and {more} more" if more > 0 else "")
-        raise DeadlockError(
-            f"computation deadlocked with {len(self._suspended)} suspended "
-            f"process(es):\n  {listing}"
-        )
-
-    def _execute(self, process: Process, now: float) -> float | None:
-        """One reduction attempt.  Returns the cost, or ``None`` if the
-        process suspended."""
-        goal = deref(process.goal)
-        if type(goal) is Atom:
-            goal = Struct(goal.name, ())
-            process.goal = goal
-        indicator = goal.indicator
-        builtin = BUILTINS.get(indicator)
-        try:
-            if builtin is not None:
-                cost = builtin(self, process, goal.args, now)
-            else:
-                foreign = self.foreign.lookup(*indicator)
-                if foreign is not None:
-                    cost = self._call_foreign(foreign, process, goal, now)
-                else:
-                    cost = self._reduce_user(process, goal, now)
-        except Suspend as s:
-            self._suspend(process, s.variables, now)
-            return None
-        process.state = _DONE
-        self._live -= 1
-        vp = self.machine.procs[process.proc - 1]
-        if process.watched:
-            vp.task_finished()
-        if process.lib:
-            self.machine.library_cost += cost
-        else:
-            self.machine.user_cost += cost
-        self.machine.trace.record(now, process.proc, "reduce", goal.functor)
-        return cost
-
-    def _reduce_user(self, process: Process, goal: Struct, now: float) -> float:
-        procedure = self._procs_cache.get(goal.indicator)
-        if procedure is None:
-            raise UnknownProcedureError(
-                f"no procedure, builtin, or foreign function "
-                f"{goal.functor}/{len(goal.args)} (goal: {process.describe()})"
-            )
-        blocked: list[Var] = []
-        for rule in procedure.rules:
-            m = match_head(rule.head, goal)
-            if m.status == MatchResult.FAILED:
-                continue
-            if m.status == MatchResult.SUSPENDED:
-                blocked.extend(m.blocked)
-                continue
-            g = eval_guards(rule.guards, m.env)
-            if g.status == MatchResult.FAILED:
-                continue
-            if g.status == MatchResult.SUSPENDED:
-                blocked.extend(g.blocked)
-                continue
-            # Commit: spawn the body.
-            cost = self.reduction_cost
-            fresh: dict[int, Var] = {}
-            done = now + cost
-            for body_goal in rule.body:
-                inst = instantiate(body_goal, m.env, fresh)
-                self._spawn_body(inst, process, done)
-            return cost
-        if blocked:
-            raise Suspend(blocked)
-        from repro.strand.pretty import format_term
-
-        raise ProcessFailureError(
-            f"process {format_term(goal)} matches no rule of "
-            f"{goal.functor}/{len(goal.args)} and can never match"
-        )
-
-    def _spawn_body(self, inst: Term, parent: Process, ready: float) -> None:
-        inst_d = deref(inst)
-        if type(inst_d) is Atom:
-            inst_d = Struct(inst_d.name, ())
-        if type(inst_d) is not Struct:
-            raise StrandError(
-                f"body goal {inst_d!r} of {parent.describe()} is not callable"
-            )
-        indicator = inst_d.indicator
-        if indicator in BUILTINS:
-            lib: bool | None = parent.lib
-        elif indicator in self.library:
-            lib = True
-        else:
-            lib = False
-        self.spawn(inst_d, parent.proc, ready=ready, lib=lib)
-
-    def _call_foreign(self, fp, process: Process, goal: Struct, now: float) -> float:
-        if fp.raw:
-            cost = fp.fn(self, process, goal.args, now)
-            return self.reduction_cost if cost is None else float(cost)
-        blocked: list[Var] = []
-        values: list[Any] = []
-        for idx in fp.inputs:
-            try:
-                values.append(to_python(goal.args[idx]))
-            except NotGround as ng:
-                blocked.append(ng.variable)
-        if blocked:
-            raise Suspend(blocked)
-        cost = fp.cost_for(values)
-        result = fp.fn(*values)
-        outputs = fp.outputs
-        if outputs:
-            if len(outputs) == 1:
-                results = (result,)
-            else:
-                if not isinstance(result, tuple) or len(result) != len(outputs):
-                    raise StrandError(
-                        f"foreign {fp.name}/{fp.arity} must return a tuple of "
-                        f"{len(outputs)} values"
-                    )
-                results = result
-            for idx, value in zip(outputs, results):
-                self.bind(goal.args[idx], from_python(value), process.proc, now)
-        return cost
+        closed = self.close_all_ports(now)
+        if closed > 0:
+            self._quiesce_closes += 1
+            return True
+        return False
 
 
 def run_query(

@@ -83,8 +83,16 @@ class Program:
     def __init__(self, rules: Iterable[Rule] = (), name: str = "program"):
         self.name = name
         self._procs: dict[tuple[str, int], Procedure] = {}
+        # Bumped on every structural change; compiled artifacts (symbol
+        # tables, rule indexes) are cached against this stamp.
+        self._version = 0
         for rule in rules:
             self.add_rule(rule)
+
+    @property
+    def version(self) -> int:
+        """Monotone structural-modification counter (cache invalidation)."""
+        return self._version
 
     # -- construction -----------------------------------------------------
     def add_rule(self, rule: Rule) -> None:
@@ -94,11 +102,13 @@ class Program:
             proc = Procedure(key[0], key[1])
             self._procs[key] = proc
         proc.add(rule)
+        self._version += 1
 
     def add_procedure(self, proc: Procedure) -> None:
         if proc.indicator in self._procs:
             raise MotifError(f"procedure {_fmt(proc.indicator)} already defined")
         self._procs[proc.indicator] = proc
+        self._version += 1
 
     # -- queries -----------------------------------------------------------
     def procedure(self, name: str, arity: int) -> Procedure | None:
@@ -158,9 +168,11 @@ class Program:
         """Overwrite (or add) a procedure — used by transformations that
         rewrite whole procedures in place on their working copy."""
         self._procs[proc.indicator] = proc
+        self._version += 1
 
     def remove_procedure(self, name: str, arity: int) -> None:
         self._procs.pop((name, arity), None)
+        self._version += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Program({self.name!r}, {self.rule_count()} rules)"

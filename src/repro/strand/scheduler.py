@@ -1,0 +1,235 @@
+"""The discrete-event scheduler half of the runtime core.
+
+The seed engine held scheduling state (event heap, per-processor ready
+queues, the suspension table) and reduction logic (rule selection, builtin
+and foreign dispatch) in one class, and ``machine/`` and ``strand/`` reached
+into each other's internals through it.  The split runtime gives each half
+one job: the :class:`Scheduler` owns *when and where* a process runs — the
+event heap ordering processors by next-executable time, per-processor heaps
+ordering processes by readiness, suspension/wakeup, quiescence detection and
+deadlock reporting — while the reducer (see :mod:`repro.strand.reducer`)
+owns *what one reduction does*.
+
+Everything is deterministic given the machine seed: ties break on a
+monotone sequence number issued here.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Callable
+
+from repro.errors import DeadlockError, StrandError
+from repro.machine.simulator import Machine
+from repro.strand.terms import Struct, Var, deref
+
+__all__ = ["Process", "Scheduler", "RUNNABLE", "SUSPENDED", "DONE"]
+
+RUNNABLE = 0
+SUSPENDED = 1
+DONE = 2
+
+
+class Process:
+    """One lightweight process: a goal plus scheduling state.
+
+    ``blocked_on`` holds the variables the process last suspended on (None
+    while runnable) — deadlock reports read it to say *why* each stuck
+    process is stuck.
+    """
+
+    __slots__ = ("goal", "proc", "ready", "state", "seq", "lib", "watched",
+                 "blocked_on")
+
+    def __init__(self, goal: Struct, proc: int, ready: float, seq: int,
+                 lib: bool, watched: bool):
+        self.goal = goal
+        self.proc = proc
+        self.ready = ready
+        self.state = RUNNABLE
+        self.seq = seq
+        self.lib = lib
+        self.watched = watched
+        self.blocked_on: list[Var] | None = None
+
+    def describe(self) -> str:
+        from repro.strand.pretty import format_term
+
+        return f"p{self.proc}: {format_term(self.goal)}"
+
+
+class Scheduler:
+    """Event heap + per-processor queues + the suspension table.
+
+    ``run`` drives the loop, delegating each reduction attempt to an
+    ``execute(process, now) -> cost | None`` callback and quiescence policy
+    to an ``on_quiesce() -> bool`` callback (the engine decides whether
+    closing ports may release the remaining suspensions).
+    """
+
+    def __init__(self, machine: Machine, max_reductions: int):
+        self.machine = machine
+        size = machine.size
+        self.queues: list[list] = [[] for _ in range(size)]
+        self.events: list = []
+        # One live event marker per processor (None = none outstanding).
+        self.event_time: list[float | None] = [None] * size
+        self.seq = 0
+        self.suspended: dict[int, Process] = {}
+        self.live = 0
+        self.max_reductions = max_reductions
+        self.reduction_budget = max_reductions
+
+    # ------------------------------------------------------------------
+    # Queue plumbing
+    # ------------------------------------------------------------------
+    def next_seq(self) -> int:
+        self.seq += 1
+        return self.seq
+
+    def push(self, process) -> None:
+        heappush(self.queues[process.proc - 1], (process.ready, process.seq, process))
+        clock = self.machine.procs[process.proc - 1].clock
+        self.schedule(process.proc, max(process.ready, clock))
+
+    def schedule(self, pnum: int, time: float) -> None:
+        """Ensure the event heap holds a marker for processor ``pnum`` at or
+        before ``time``.  One live marker per processor keeps the heap
+        O(P + transitions) instead of O(runnable × clock-advances)."""
+        current = self.event_time[pnum - 1]
+        if current is None or time < current:
+            self.event_time[pnum - 1] = time
+            heappush(self.events, (time, self.next_seq(), pnum))
+
+    def schedule_from_queue(self, pnum: int) -> None:
+        queue = self.queues[pnum - 1]
+        if queue:
+            clock = self.machine.procs[pnum - 1].clock
+            self.schedule(pnum, max(queue[0][0], clock))
+
+    # ------------------------------------------------------------------
+    # Suspension and wakeup
+    # ------------------------------------------------------------------
+    def suspend(self, process: Process, variables: list[Var],
+                now: float = 0.0) -> None:
+        if not variables:
+            raise StrandError(f"process suspended on no variables: {process.describe()}")
+        real = []
+        seen: set[int] = set()
+        for var in variables:
+            var = deref(var)
+            if type(var) is not Var or id(var) in seen:
+                continue
+            seen.add(id(var))
+            real.append(var)
+        if not real:
+            # Every blocker got bound while we were deciding — retry soon.
+            process.ready = now
+            self.push(process)
+            return
+        process.state = SUSPENDED
+        process.blocked_on = real
+        self.suspended[id(process)] = process
+        for var in real:
+            if var.waiters is None:
+                var.waiters = []
+            var.waiters.append(process)
+        vp = self.machine.procs[process.proc - 1]
+        vp.suspensions += 1
+        self.machine.trace.record(now, process.proc, "suspend", process.goal.functor)
+
+    def wake(self, waiters: list, binder_proc: int, now: float) -> None:
+        machine = self.machine
+        procs = machine.procs
+        for process in waiters:
+            if process.state != SUSPENDED:
+                continue
+            process.state = RUNNABLE
+            process.blocked_on = None
+            self.suspended.pop(id(process), None)
+            if binder_proc != process.proc:
+                latency = machine.latency(binder_proc, process.proc)
+                vp = procs[binder_proc - 1]
+                vp.remote_bindings += 1
+                vp.hops += machine.hops(binder_proc, process.proc)
+            else:
+                latency = 0.0
+            process.ready = now + latency
+            procs[process.proc - 1].wakeups += 1
+            self.push(process)
+            machine.trace.record(now, process.proc, "wake", process.goal.functor)
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+    def run(self, execute: Callable, on_quiesce: Callable[[], bool]) -> None:
+        """Run until the pool drains.  Raises :class:`DeadlockError` if
+        suspended processes remain after ``on_quiesce`` declines to release
+        them, and propagates reducer errors unchanged."""
+        machine = self.machine
+        procs = machine.procs
+        events = self.events
+        queues = self.queues
+        event_time = self.event_time
+        while True:
+            while events:
+                time, _, pnum = heappop(events)
+                if event_time[pnum - 1] != time:
+                    continue  # stale duplicate marker
+                event_time[pnum - 1] = None
+                queue = queues[pnum - 1]
+                if not queue:
+                    continue
+                vp = procs[pnum - 1]
+                actual = queue[0][0]
+                if vp.clock > actual:
+                    actual = vp.clock
+                if actual > time:
+                    self.schedule(pnum, actual)
+                    continue
+                _, _, process = heappop(queue)
+                if process.state != RUNNABLE:
+                    self.schedule_from_queue(pnum)
+                    continue
+                self.reduction_budget -= 1
+                if self.reduction_budget < 0:
+                    raise StrandError(
+                        f"reduction budget of {self.max_reductions} exhausted "
+                        f"(possible runaway recursion)"
+                    )
+                cost = execute(process, actual)
+                if cost is None:
+                    self.schedule_from_queue(pnum)
+                    continue  # suspended; costs nothing
+                vp.clock = actual + cost
+                vp.busy += cost
+                vp.reductions += 1
+                self.schedule_from_queue(pnum)
+            if not self.suspended:
+                break
+            if not on_quiesce():
+                self.deadlock()
+
+    # ------------------------------------------------------------------
+    # Deadlock reporting
+    # ------------------------------------------------------------------
+    def deadlock(self) -> None:
+        """Raise :class:`DeadlockError` listing the suspended processes in a
+        deterministic order (processor, then spawn sequence) together with
+        the variables each is blocked on."""
+        stuck = sorted(self.suspended.values(), key=lambda p: (p.proc, p.seq))
+        shown = stuck[:12]
+        lines = []
+        for process in shown:
+            waiting = [
+                v.name for v in (process.blocked_on or ())
+                if type(deref(v)) is Var
+            ]
+            suffix = f"  [waiting on {', '.join(waiting)}]" if waiting else ""
+            lines.append(process.describe() + suffix)
+        more = len(stuck) - len(shown)
+        listing = "\n  ".join(lines) + (f"\n  ... and {more} more" if more > 0 else "")
+        raise DeadlockError(
+            f"computation deadlocked with {len(stuck)} suspended "
+            f"process(es):\n  {listing}"
+        )

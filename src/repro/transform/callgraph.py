@@ -11,24 +11,30 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+from repro.strand.compile import symbol_table
 from repro.strand.program import Program
-from repro.transform.rewrite import body_calls
 
 __all__ = ["CallGraph"]
 
 
 class CallGraph:
     """Static call graph of a program: ``caller -> {callees}`` over
-    ``name/arity`` indicators (placement annotations looked through)."""
+    ``name/arity`` indicators (placement annotations looked through).
+
+    Built from the program's shared :class:`~repro.strand.compile.SymbolTable`
+    (cached per program version) rather than re-walking rule bodies, so the
+    linter, the argument-threading transformations, and the engine all agree
+    on one interned name/arity view.
+    """
 
     def __init__(self, program: Program):
+        table = symbol_table(program)
+        self.defined: set[tuple[str, int]] = table.defined
         self.edges: dict[tuple[str, int], set[tuple[str, int]]] = defaultdict(set)
-        self.defined: set[tuple[str, int]] = set()
-        for proc in program:
-            self.defined.add(proc.indicator)
-            for rule in proc.rules:
-                for callee in body_calls(rule):
-                    self.edges[proc.indicator].add(callee)
+        for indicator in table.calls:
+            callees = table.callees(indicator)
+            if callees:
+                self.edges[indicator].update(callees)
 
     def callees(self, indicator: tuple[str, int]) -> set[tuple[str, int]]:
         return set(self.edges.get(indicator, ()))

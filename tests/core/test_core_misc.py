@@ -77,10 +77,18 @@ class TestAsApplication:
         assert ("eval", 4) in program
         assert setup is None
 
-    def test_program_passthrough_copies(self):
+    def test_program_passthrough_shares(self):
+        # Transformations never mutate their input, so the application is
+        # passed through by identity — that is what lets the motif-apply
+        # and compile caches key on it across repeated runs.
         source = Program(name="orig")
         program, _ = as_application(source)
-        assert program is not source
+        assert program is source
+
+    def test_source_parse_is_memoized(self):
+        first, _ = as_application(EVAL_SOURCE)
+        second, _ = as_application(EVAL_SOURCE)
+        assert first is second
 
     def test_callable_registers_eval(self):
         program, setup = as_application(lambda op, l, r: l + r)

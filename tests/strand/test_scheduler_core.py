@@ -1,0 +1,102 @@
+"""Scheduler-half regression tests: deadlock reporting and quiescence.
+
+The deadlock report must be *deterministic* (sorted by processor, then
+spawn sequence — not by dict iteration order over process ids) and must say
+which variables each stuck process is waiting on.  Port auto-close on
+service quiescence must fire exactly once per run.
+"""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.machine.simulator import Machine
+from repro.strand import parse_program, run_query
+from repro.strand.engine import StrandEngine
+from repro.strand.parser import parse_term
+
+WAIT = "wait(X, Out) :- known(X) | Out := done.\n"
+
+
+class TestDeadlockReport:
+    def test_message_names_blocked_variables(self):
+        program = parse_program(WAIT)
+        with pytest.raises(DeadlockError) as err:
+            run_query(program, "wait(Input, Out)")
+        message = str(err.value)
+        assert "wait(Input, Out)" in message
+        assert "[waiting on Input]" in message
+
+    def test_processes_sorted_by_processor_then_sequence(self):
+        # Spawn on processor 2 *first* (lower sequence number): the report
+        # must still list p1 before p2.
+        program = parse_program(WAIT)
+        engine = StrandEngine(program, machine=Machine(2))
+        engine.spawn(parse_term("wait(B, Out1)"), proc=2)
+        engine.spawn(parse_term("wait(A, Out2)"), proc=1)
+        with pytest.raises(DeadlockError) as err:
+            engine.run()
+        message = str(err.value)
+        assert message.index("p1: wait(A") < message.index("p2: wait(B")
+
+    def test_report_is_stable_across_runs(self):
+        program = parse_program(WAIT)
+        query = "wait(A, O1), wait(B, O2), wait(C, O3)"
+        messages = []
+        for _ in range(2):
+            with pytest.raises(DeadlockError) as err:
+                run_query(program, query, machine=Machine(2))
+            messages.append(str(err.value))
+        assert messages[0] == messages[1]
+        # All three suspensions listed, in spawn order.
+        a, b, c = (messages[0].index(f"wait({v}") for v in "ABC")
+        assert a < b < c
+
+    def test_long_reports_truncate_with_count(self):
+        program = parse_program(WAIT)
+        engine = StrandEngine(program, machine=Machine(1))
+        for i in range(15):
+            engine.spawn(parse_term(f"wait(V{i}, Out{i})"), proc=1)
+        with pytest.raises(DeadlockError) as err:
+            engine.run()
+        message = str(err.value)
+        assert "15 suspended" in message
+        assert "... and 3 more" in message
+
+
+class TestQuiescenceCounter:
+    SERVER = """
+    go(Out) :- open_port(P, S), feed(3, P), loop(S, 0, Out).
+    feed(N, P) :- N > 0 | send_port(P, item), N1 := N - 1, feed(N1, P).
+    feed(0, _).
+    loop([item | In], Acc, Out) :- Acc1 := Acc + 1, loop(In, Acc1, Out).
+    loop([], Acc, Out) :- Out := Acc.
+    """
+
+    def test_auto_close_fires_exactly_once(self):
+        program = parse_program(self.SERVER)
+        result = run_query(program, "go(Out)", machine=Machine(1),
+                           services=[("loop", 3)])
+        assert result["Out"] == 3
+        assert result.engine._quiesce_closes == 1
+        assert result.engine._ports_closed
+
+    def test_no_quiesce_when_streams_terminate_naturally(self):
+        src = """
+        go(Out) :- open_port(P, S), produce(2, P), consume(S, 0, Out).
+        produce(N, P) :- N > 0 | send_port(P, x), N1 := N - 1, produce(N1, P).
+        produce(0, P) :- close_port(P).
+        consume([x | In], Acc, Out) :- Acc1 := Acc + 1, consume(In, Acc1, Out).
+        consume([], Acc, Out) :- Out := Acc.
+        """
+        result = run_query(parse_program(src), "go(Out)", machine=Machine(1))
+        assert result["Out"] == 2
+        assert result.engine._quiesce_closes == 0
+
+    def test_services_only_with_auto_close_disabled_deadlocks(self):
+        program = parse_program(self.SERVER)
+        with pytest.raises(DeadlockError) as err:
+            run_query(program, "go(Out)", machine=Machine(1),
+                      services=[("loop", 3)], auto_close_ports=False)
+        # The stuck service and its stream variable are reported.
+        assert "loop(" in str(err.value)
+        assert "waiting on" in str(err.value)
