@@ -20,6 +20,7 @@ from repro.core import (
     default_registry,
     get_motif,
     reduce_tree,
+    supervised_reduce_tree,
 )
 from repro.machine import Machine
 from repro.strand import Program, parse_program, run_query
@@ -32,6 +33,7 @@ __all__ = [
     "AppliedMotif",
     "RunResult",
     "reduce_tree",
+    "supervised_reduce_tree",
     "get_motif",
     "default_registry",
     "Machine",

@@ -38,7 +38,14 @@ from repro.strand.parser import parse_program
 from repro.strand.program import Program
 from repro.strand.terms import Struct, Term, Var, deref
 
-__all__ = ["RunResult", "run_applied", "reduce_tree", "TREE_STRATEGIES", "as_application"]
+__all__ = [
+    "RunResult",
+    "run_applied",
+    "reduce_tree",
+    "supervised_reduce_tree",
+    "TREE_STRATEGIES",
+    "as_application",
+]
 
 #: Tree-reduction strategies offered by :func:`reduce_tree`.
 TREE_STRATEGIES = ("tr1", "tr2", "static", "sequential")
@@ -58,27 +65,50 @@ class RunResult:
 # Motif stacks are stateless apart from their application memo, so one
 # instance per parameterization lets repeated ``reduce_tree`` calls share
 # parsed libraries, applied programs, and (transitively) compiled programs.
-@lru_cache(maxsize=None)
+#
+# The caches are *bounded*: each cached stack pins its applied programs and
+# compiled rule plans, so an unbounded cache in a long-lived process (a
+# notebook sweeping parameters, a benchmark harness) grows without limit.
+# The bounds are sized generously above any realistic number of concurrent
+# parameterizations — eviction only re-pays one stack construction.
+_STACK_CACHE_SIZE = 32  # distinct (server_library, …) parameterizations
+_APPLICATION_CACHE_SIZE = 256  # distinct application names
+
+
+@lru_cache(maxsize=_STACK_CACHE_SIZE)
 def _tr1_stack(server_library: str, termination: bool) -> Motif:
     return tree_reduce_1(server_library=server_library, termination=termination)
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=_STACK_CACHE_SIZE)
 def _tr2_stack(server_library: str) -> Motif:
     return tree_reduce_2(server_library=server_library)
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=_STACK_CACHE_SIZE)
 def _static_stack() -> Motif:
     return static_tree_motif()
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=_STACK_CACHE_SIZE)
 def _sequential_stack() -> Motif:
     return sequential_tree_motif()
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=_STACK_CACHE_SIZE)
+def _supervised_stack(
+    retries: int, timeout: float, backoff: int, fallback: str,
+    server_library: str,
+) -> Motif:
+    from repro.motifs.supervisor import supervised_tree_reduce
+
+    return supervised_tree_reduce(
+        retries=retries, timeout=timeout, backoff=backoff,
+        fallback=fallback, server_library=server_library,
+    )
+
+
+@lru_cache(maxsize=_APPLICATION_CACHE_SIZE)
 def _empty_application(name: str) -> Program:
     """A shared, never-mutated empty application program.  One object per
     name keeps motif-application caches keyed on a stable identity across
@@ -194,8 +224,11 @@ def reduce_tree(
         applied = motif.apply(application)
         import random as _random
 
+        # Labelling must be a function of the *machine's* seed, not the
+        # ``seed`` parameter (which is ignored when a machine is passed in),
+        # or two runs on the same machine could label differently.
         _entries, table = trees.label_table(
-            tree, machine.size, _random.Random(seed + 0x5EED)
+            tree, machine.size, _random.Random(machine.seed + 0x5EED)
         )
         goal = Struct("create", (machine.size, Struct("init", (table, value_var))))
     elif strategy == "static":
@@ -218,5 +251,62 @@ def reduce_tree(
     if type(value) is Var:
         raise ReproError(
             f"tree reduction under {strategy!r} finished without binding the result"
+        )
+    return RunResult(to_python(value), metrics, {"Value": value_var}, engine, applied)
+
+
+def supervised_reduce_tree(
+    tree: trees.Tree,
+    evaluator: str | Callable | Program,
+    *,
+    processors: int = 4,
+    machine: Machine | None = None,
+    seed: int = 0,
+    topology: str | None = None,
+    retries: int = 3,
+    timeout: float = 600.0,
+    backoff: int = 2,
+    fallback: str = "0",
+    server_library: str = "ports",
+    eval_cost: float | Callable[..., float] = 1.0,
+    max_reductions: int = 5_000_000,
+) -> RunResult:
+    """Reduce a binary tree under the Supervise motif stack
+    (``Server ∘ Rand ∘ Supervise ∘ Tree1′``) — fault-tolerant Tree-Reduce-1.
+
+    Pass a :class:`Machine` constructed with a
+    :class:`~repro.machine.faults.FaultPlan` to run against injected
+    processor crashes and message faults; the result's ``metrics`` then
+    carry the fault and supervision counters.  ``timeout`` must exceed the
+    fault-free completion time of the largest supervised subcomputation, or
+    healthy attempts will be retried (and ultimately degraded to
+    ``fallback``).
+    """
+    if machine is None:
+        machine = Machine(processors, topology=topology, seed=seed)
+    application, setup = as_application(evaluator, cost=eval_cost)
+    if isinstance(tree, trees.Leaf):
+        applied = AppliedMotif(program=application)
+        engine = StrandEngine(application, machine=machine)
+        return RunResult(tree.value, machine.metrics(), {}, engine, applied)
+    motif = _supervised_stack(retries, timeout, backoff, fallback, server_library)
+    applied = motif.apply(application)
+    if setup is not None:
+        applied.foreign_setup.append(setup)
+        applied.user_names.add("eval")
+    value_var = Var("Value")
+    goal = Struct(
+        "create",
+        (machine.size, Struct("sup_run", (trees.tree_term(tree), value_var))),
+    )
+    engine, metrics = run_applied(
+        applied, goal, machine, watched=[("eval", 4)],
+        max_reductions=max_reductions,
+    )
+    value = deref(value_var)
+    if type(value) is Var:
+        raise ReproError(
+            "supervised tree reduction finished without binding the result "
+            "(was the supervision channel itself severed?)"
         )
     return RunResult(to_python(value), metrics, {"Value": value_var}, engine, applied)

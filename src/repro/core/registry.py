@@ -70,9 +70,12 @@ def _populate(registry: MotifRegistry) -> None:
         tree1_motif,
         tree_reduce_1,
     )
+    from repro.motifs.supervisor import supervise_motif, supervised_tree_reduce
     from repro.motifs.tree_reduce2 import tree_reduce_2, tree_reduce_motif
 
     registry.register("server", server_motif)
+    registry.register("supervise", supervise_motif)
+    registry.register("supervised-tree-reduce", supervised_tree_reduce)
     registry.register("rand", rand_motif)
     registry.register("random", random_motif)
     registry.register("termination", short_circuit_motif)

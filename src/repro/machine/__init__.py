@@ -2,6 +2,7 @@
 metrics, and the :class:`~repro.machine.simulator.Machine` the Strand engine
 runs on."""
 
+from repro.machine.faults import FaultPlan, FaultStats
 from repro.machine.metrics import MachineMetrics, coefficient_of_variation, imbalance, jain_fairness
 from repro.machine.network import Network
 from repro.machine.processor import VirtualProcessor
@@ -23,6 +24,8 @@ from repro.machine.trace import Trace, TraceEvent
 __all__ = [
     "Machine",
     "MachineMetrics",
+    "FaultPlan",
+    "FaultStats",
     "Network",
     "VirtualProcessor",
     "Topology",

@@ -68,6 +68,20 @@ class MachineMetrics:
     # procedures in the "library" set vs everything else (experiment E8).
     library_cost: float = 0.0
     user_cost: float = 0.0
+    # Fault-injection accounting (zero on fault-free runs).
+    crashes: int = 0
+    messages_dropped: int = 0
+    messages_delayed: int = 0
+    processes_abandoned: int = 0
+    processes_migrated: int = 0
+    orphaned_suspensions: int = 0
+    # Supervision-motif responses to injected faults.
+    sup_timeouts: int = 0
+    sup_retries: int = 0
+    sup_degraded: int = 0
+    # Events the Trace dropped past its limit — nonzero means every
+    # trace-derived figure is a lower bound.
+    trace_dropped: int = 0
 
     @classmethod
     def from_processors(
@@ -75,6 +89,7 @@ class MachineMetrics:
         procs: list[VirtualProcessor],
         library_cost: float = 0.0,
         user_cost: float = 0.0,
+        **fault_counters: int,
     ) -> "MachineMetrics":
         return cls(
             processors=len(procs),
@@ -91,6 +106,7 @@ class MachineMetrics:
             tasks_started=sum(p.tasks_started for p in procs),
             library_cost=library_cost,
             user_cost=user_cost,
+            **fault_counters,
         )
 
     # -- derived figures -----------------------------------------------------
@@ -144,11 +160,25 @@ class MachineMetrics:
             return 1.0
         return sequential_makespan / self.makespan
 
+    @property
+    def faults_injected(self) -> int:
+        return self.crashes + self.messages_dropped + self.messages_delayed
+
     def summary(self) -> str:
-        return (
+        text = (
             f"P={self.processors} makespan={self.makespan:.1f} "
             f"busy={self.total_busy:.1f} eff={self.efficiency:.3f} "
             f"imb={self.imbalance:.3f} red={self.reductions} "
             f"msgs={self.messages} (sends={self.sends}, remote_binds={self.remote_bindings}) "
             f"peak_tasks={self.max_peak_live_tasks}"
         )
+        if self.faults_injected:
+            text += (
+                f" faults(crashes={self.crashes}, dropped={self.messages_dropped}, "
+                f"delayed={self.messages_delayed}, abandoned={self.processes_abandoned}, "
+                f"orphans={self.orphaned_suspensions}, retries={self.sup_retries}, "
+                f"degraded={self.sup_degraded})"
+            )
+        if self.trace_dropped:
+            text += f" trace_dropped={self.trace_dropped}"
+        return text

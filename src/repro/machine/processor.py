@@ -18,6 +18,10 @@ class VirtualProcessor:
     """
 
     number: int  # 1-based, as in the paper's rand_num(N, O) convention
+    # Fail-stop state: a crashed processor executes nothing further and its
+    # clock freezes at the crash time (so a crash never inflates makespan).
+    alive: bool = True
+    crashed_at: float | None = None
     clock: float = 0.0
     busy: float = 0.0
     reductions: int = 0

@@ -16,6 +16,7 @@ from __future__ import annotations
 import random
 
 from repro.errors import MachineError
+from repro.machine.faults import FaultPlan, FaultStats
 from repro.machine.metrics import MachineMetrics
 from repro.machine.network import Network
 from repro.machine.processor import VirtualProcessor
@@ -37,9 +38,14 @@ class Machine:
         A :class:`Topology`, a name (``'full'``, ``'ring'``, ``'mesh'``,
         ``'hypercube'``, ``'tree'``), or ``None`` for fully connected.
     seed:
-        Seed for the machine RNG (drives ``rand_num`` and nothing else).
+        Seed for the machine RNG (drives ``rand_num`` and fault injection;
+        nothing else).
     trace:
         Enable event tracing (see :class:`Trace`).
+    faults:
+        Optional :class:`~repro.machine.faults.FaultPlan`.  The crash
+        schedule is resolved here, from the machine RNG, so it is fixed by
+        the seed before the first reduction runs.
     """
 
     def __init__(
@@ -50,6 +56,7 @@ class Machine:
         startup_latency: float = 2.0,
         per_hop_latency: float = 1.0,
         trace: bool = False,
+        faults: FaultPlan | None = None,
     ):
         if processors < 1:
             raise MachineError(f"need at least one processor, got {processors}")
@@ -70,6 +77,14 @@ class Machine:
         self.rng = random.Random(seed)
         self.seed = seed
         self.trace = Trace(enabled=trace)
+        self.faults = faults
+        self.fault_stats = FaultStats()
+        # processor -> virtual crash time, fixed by the seed at construction
+        # (drawn before any rand_num draw so the schedule never depends on
+        # program behaviour).
+        self.crash_schedule: dict[int, float] = (
+            faults.resolve_crashes(processors, self.rng) if faults else {}
+        )
         # Cost split for experiment E8; the engine fills these in.
         self.library_cost = 0.0
         self.user_cost = 0.0
@@ -102,17 +117,74 @@ class Machine:
         ``rand_num(N, R)``)."""
         return self.rng.randint(1, len(self.procs))
 
+    # -- fault injection ----------------------------------------------------
+    def message_fate(self, src: int, dst: int, now: float) -> tuple[str, float]:
+        """Decide what happens to an explicit message sent ``src -> dst`` at
+        virtual time ``now``: ``('deliver' | 'drop' | 'delay', latency)``.
+
+        A message arriving at a processor that is (or will by then be)
+        crashed is lost deterministically — no RNG draw, so the draw
+        sequence stays identical across fault-plan variations that only
+        change crash times.  Drop/delay draws happen only when the plan is
+        lossy, so a fault-free machine replays pre-failure-model traces
+        byte-for-byte.
+        """
+        latency = self.network.latency(src, dst)
+        faults = self.faults
+        if faults is None:
+            return "deliver", latency
+        crash_at = self.crash_schedule.get(dst)
+        if (crash_at is not None and crash_at <= now + latency) or not self.proc(
+            dst
+        ).alive:
+            self.fault_stats.messages_dropped += 1
+            self.trace.record(now, src, "fault", f"drop:dead-dest p{dst}")
+            return "drop", latency
+        if faults.lossy:
+            draw = self.rng.random()
+            if draw < faults.drop_rate:
+                self.fault_stats.messages_dropped += 1
+                self.trace.record(now, src, "fault", f"drop:msg->p{dst}")
+                return "drop", latency
+            if draw < faults.drop_rate + faults.delay_rate:
+                self.fault_stats.messages_delayed += 1
+                latency *= 1.0 + faults.delay_factor
+                self.trace.record(now, src, "fault", f"delay:msg->p{dst}")
+                return "delay", latency
+        return "deliver", latency
+
     # -- results ------------------------------------------------------------
     def metrics(self) -> MachineMetrics:
+        fs = self.fault_stats
         return MachineMetrics.from_processors(
-            self.procs, library_cost=self.library_cost, user_cost=self.user_cost
+            self.procs,
+            library_cost=self.library_cost,
+            user_cost=self.user_cost,
+            crashes=fs.crashes,
+            messages_dropped=fs.messages_dropped,
+            messages_delayed=fs.messages_delayed,
+            processes_abandoned=fs.processes_abandoned,
+            processes_migrated=fs.processes_migrated,
+            orphaned_suspensions=fs.orphaned_suspensions,
+            sup_timeouts=fs.sup_timeouts,
+            sup_retries=fs.sup_retries,
+            sup_degraded=fs.sup_degraded,
+            trace_dropped=self.trace.dropped,
         )
 
     def reset(self) -> None:
-        """Clear all processor state and counters; keep topology and seed."""
+        """Clear all processor state and counters; keep topology, seed, and
+        fault plan (the re-seeded RNG re-resolves the identical crash
+        schedule)."""
         self.procs = [VirtualProcessor(number=i + 1) for i in range(len(self.procs))]
         self.rng = random.Random(self.seed)
-        self.trace = Trace(enabled=self.trace.enabled)
+        self.trace.clear()
+        self.fault_stats.clear()
+        self.crash_schedule = (
+            self.faults.resolve_crashes(len(self.procs), self.rng)
+            if self.faults
+            else {}
+        )
         self.library_cost = 0.0
         self.user_cost = 0.0
 

@@ -18,7 +18,8 @@ class TraceEvent:
     """One machine event.
 
     ``kind`` is one of ``reduce``, ``spawn``, ``suspend``, ``wake``,
-    ``send``, ``bind``, ``fail``; ``time`` is the virtual time at which it
+    ``send``, ``bind``, ``fail``, ``fault``, ``crash``, ``timeout``;
+    ``time`` is the virtual time at which it
     happened on processor ``proc``; ``detail`` is a short human-readable
     payload (goal indicator, message summary, …).
     """
@@ -45,6 +46,19 @@ class Trace:
             self.dropped += 1
             return
         self.events.append(TraceEvent(time, proc, kind, detail))
+
+    @property
+    def truncated(self) -> bool:
+        """True when events were dropped past ``limit`` — ``of_kind()`` and
+        ``__len__`` then under-report and the trace must not be treated as
+        complete."""
+        return self.dropped > 0
+
+    def clear(self) -> None:
+        """Empty the log for reuse, resetting the ``dropped`` count so a
+        reused trace does not report a stale truncation."""
+        self.events.clear()
+        self.dropped = 0
 
     def of_kind(self, kind: str) -> list[TraceEvent]:
         return [e for e in self.events if e.kind == kind]

@@ -13,6 +13,11 @@ from repro.motifs.server import (
     server_motif,
     server_transformation,
 )
+from repro.motifs.supervisor import (
+    SuperviseTransformation,
+    supervise_motif,
+    supervised_tree_reduce,
+)
 from repro.motifs.termination import ShortCircuit, short_circuit_motif
 from repro.motifs.tree_reduce1 import (
     sequential_tree_motif,
@@ -41,6 +46,9 @@ __all__ = [
     "RandTransformation",
     "short_circuit_motif",
     "ShortCircuit",
+    "supervise_motif",
+    "supervised_tree_reduce",
+    "SuperviseTransformation",
     "tree1_motif",
     "tree_reduce_1",
     "static_tree_motif",

@@ -1,0 +1,346 @@
+"""The Supervise motif: fault tolerance as a transformation + library pair.
+
+The paper's framework treats every parallel-programming concern as a motif
+``M = (T, L)`` that composes with the others (§2.2); supervision is the
+natural next layer once the machine model admits failures (processor
+crashes, message drops — see :mod:`repro.machine.faults`).  The motif's
+contract:
+
+* **Annotation** — the user marks a body goal ``P @ supervised(Retries)``.
+  The annotated goal's *output argument* (declared via ``outputs``) will be
+  bound even if processors crash: by the computed value if any attempt
+  completes, or by a configured fallback after ``Retries`` re-attempts time
+  out (graceful degradation to a partial result).
+* **Transformation** — threads a monitor stream ``Mon`` through the
+  procedures that (transitively) contain supervised goals, rewrites each
+  supervised goal into a ``watch`` request on the monitor, and generates a
+  ``sup_run`` entry wrapper that opens the monitor port and starts the
+  supervisor loop.
+* **Library** — the supervisor service: for each watch request it runs an
+  *attempt* (a fresh-variable copy of the goal, so retries never collide
+  with stragglers from earlier attempts), arms a timeout, and on expiry
+  retries with an exponentially backed-off timeout or degrades to the
+  fallback.
+
+Composition: ``Supervised-Tree-Reduce = Server ∘ Rand ∘ Supervise ∘ Tree1′``
+where ``Tree1′`` is the five-line reduction with ``@ supervised(R)`` in
+place of ``@ random``.  The Supervise library dispatches attempts with
+``call(Copy) @ random``, so the Rand stage above it rewrites attempt
+placement exactly as it rewrites user code — the motif adds fault handling
+without its own placement machinery.
+
+Correctness under crashes rests on one invariant the stack establishes:
+*all cross-processor dataflow goes through supervised outputs*.  The entry
+wrapper (and hence the supervisor and the left recursion spine) runs on
+processor 1, which the default :class:`~repro.machine.faults.FaultPlan`
+keeps immortal; every right-branch subcomputation is shipped out under
+supervision.  A crash therefore kills only supervised attempts, whose
+timeouts fire deterministically and whose retries land elsewhere.
+
+Caveats (documented limits of the model):
+
+* a supervised goal's *input* arguments must be bound when the goal is
+  reached — the attempt copy freshens unbound variables, so dataflow still
+  in flight would be severed;
+* ``supervised(R)`` must be the goal's only annotation;
+* the atom ``timeout`` is reserved: a computed value equal to ``timeout``
+  is indistinguishable from an expiry.
+"""
+
+from __future__ import annotations
+
+from repro.core.motif import ComposedMotif, Motif
+from repro.errors import TransformError
+from repro.motifs.random_map import rand_motif
+from repro.motifs.server import server_motif
+from repro.strand.program import Program, Rule
+from repro.strand.terms import Struct, Term, Var, deref
+from repro.transform.callgraph import CallGraph
+from repro.transform.rewrite import strip_placement, with_placement
+from repro.transform.transformation import Transformation
+
+__all__ = [
+    "SuperviseTransformation",
+    "supervise_motif",
+    "supervised_tree_reduce",
+    "SUPERVISE_LIBRARY",
+    "TREE1_SUP_LIBRARY",
+    "SUP_RUN",
+    "SUPERVISE_SERVICES",
+]
+
+SUP_RUN = "sup_run"
+
+#: Service procedures of the Supervise motif.  The supervisor loop is
+#: declared at both its own arity and the arity it gains when the Server
+#: motif threads ``DT`` through it (services are indicator sets, and arity
+#: shifts from outer motifs are part of normal composition).
+SUPERVISE_SERVICES: frozenset[tuple[str, int]] = frozenset(
+    {("supervisor", 2), ("supervisor", 3)}
+)
+
+SUPERVISE_LIBRARY = """
+% Supervise library.  The monitor stream carries watch(Goal, K, Out,
+% Retries) requests; the supervisor runs attempts until one binds the
+% goal's K-th argument or retries are exhausted.
+sup_watch(Goal, K, Out, Retries, Mon) :-
+    send_port(Mon, watch(Goal, K, Out, Retries)).
+
+supervisor([watch(Goal, K, Out, Retries) | In], Timeout) :-
+    sup_attempt(Goal, K, Out, Retries, Timeout),
+    supervisor(In, Timeout).
+supervisor([halt | _], _).
+supervisor([], _).
+
+% One attempt: a fresh-variable copy of the goal (private output, so a
+% straggler from a crashed attempt can never collide with a retry), shipped
+% out for execution, raced against a timer via a private probe.
+sup_attempt(Goal, K, Out, Retries, Timeout) :-
+    sup_fresh(Goal, K, Copy, CopyOut),
+    sup_spawn(Copy),
+    sup_relay(CopyOut, Probe),
+    after(Timeout, Probe),
+    sup_check(Probe, Goal, K, Out, Retries, Timeout).
+
+{spawn}
+
+% First writer wins the probe; the second rule lets the timeout firing
+% release a relay whose value will never arrive (dead attempt), so no
+% suspension outlives the race.
+sup_relay(V, Probe) :- known(V) | soft_bind(Probe, V).
+sup_relay(_V, Probe) :- known(Probe) | true.
+
+% Timed out with retries remaining: back off and re-attempt.
+sup_check(timeout, Goal, K, Out, Retries, Timeout) :- Retries > 0 |
+    sup_note(retry),
+    R1 := Retries - 1,
+    T1 := Timeout * {backoff},
+    sup_attempt(Goal, K, Out, R1, T1).
+% Out of retries: degrade gracefully to the fallback value.
+sup_check(timeout, _Goal, _K, Out, 0, _Timeout) :-
+    sup_note(degrade),
+    soft_bind(Out, {fallback}).
+% The attempt delivered a value before the timer fired.
+sup_check(Value, _Goal, _K, Out, _Retries, _Timeout) :-
+    known(Value), Value \\== timeout |
+    soft_bind(Out, Value).
+"""
+
+#: Attempt-dispatch rule variants interpolated into the library.
+_SPAWN_RANDOM = "sup_spawn(Copy) :- call(Copy) @ random."
+_SPAWN_LOCAL = "sup_spawn(Copy) :- call(Copy)."
+
+TREE1_SUP_LIBRARY = """
+% Tree1 with supervised (instead of bare random) right-branch dispatch.
+reduce(tree(V, L, R), Value) :-
+    reduce(R, RV) @ supervised({retries}),
+    reduce(L, LV),
+    eval(V, LV, RV, Value).
+reduce(leaf(X), Value) :- Value := X.
+"""
+
+
+def _supervised_annotation(where: Term | None) -> Struct | None:
+    """The ``supervised(Retries)`` annotation struct, if that is what the
+    placement is."""
+    if where is None:
+        return None
+    where = deref(where)
+    if type(where) is Struct and where.indicator == ("supervised", 1):
+        return where
+    return None
+
+
+class SuperviseTransformation(Transformation):
+    """Thread a monitor stream through supervised code and generate the
+    entry wrapper.
+
+    Parameters
+    ----------
+    outputs:
+        ``indicator -> output argument position`` (1-based) for every goal
+        type that may carry ``@ supervised(R)`` — the argument the
+        supervisor guarantees to bind.
+    entry:
+        The procedure a ``sup_run`` wrapper (same arity) is generated for:
+        ``sup_run(A1..Ak)`` opens the monitor port, starts the supervisor
+        loop, and calls the entry with the monitor threaded.
+    timeout:
+        Initial attempt timeout in virtual time units; doubled (by the
+        library's backoff factor) on every retry.
+    """
+
+    name = "supervise"
+
+    def __init__(
+        self,
+        outputs: dict[tuple[str, int], int],
+        entry: tuple[str, int],
+        timeout: float = 40.0,
+    ):
+        self.outputs = dict(outputs)
+        self.entry = entry
+        self.timeout = timeout
+        for (name, arity), k in self.outputs.items():
+            if not 1 <= k <= arity:
+                raise TransformError(
+                    f"supervised output position {k} out of range for "
+                    f"{name}/{arity}"
+                )
+
+    def apply(self, program: Program) -> Program:
+        graph = CallGraph(program)
+        sup_procs: set[tuple[str, int]] = set()
+        for rule in program.rules():
+            for goal in rule.body:
+                _, where = strip_placement(goal)
+                if _supervised_annotation(where) is not None:
+                    sup_procs.add(rule.indicator)
+        if not sup_procs:
+            raise TransformError(
+                "Supervise motif applied to a program with no "
+                "'@ supervised(R)' annotation"
+            )
+        affected = (sup_procs | graph.callers_of(sup_procs)) & graph.defined
+        if self.entry not in affected:
+            raise TransformError(
+                f"supervise entry {self.entry[0]}/{self.entry[1]} does not "
+                f"reach any supervised goal"
+            )
+        defined = set(program.indicators)
+        for name, arity in affected:
+            shifted = (name, arity + 1)
+            if shifted in defined and shifted not in affected:
+                raise TransformError(
+                    f"threading the monitor through {name}/{arity} would "
+                    f"collide with the existing procedure {name}/{arity + 1}"
+                )
+        out = Program(name=program.name)
+        for rule in program.rules():
+            renamed = rule.rename()
+            if renamed.indicator in affected:
+                out.add_rule(self._thread_rule(renamed, affected))
+            else:
+                out.add_rule(renamed)
+        self._add_entry(out)
+        return out
+
+    def _thread_rule(self, rule: Rule, affected: set[tuple[str, int]]) -> Rule:
+        mon = Var("Mon")
+        head = Struct(rule.head.functor, (*rule.head.args, mon))
+        body: list[Term] = []
+        for goal in rule.body:
+            inner, where = strip_placement(goal)
+            annotation = _supervised_annotation(where)
+            if annotation is not None:
+                indicator = inner.indicator
+                k = self.outputs.get(indicator)
+                if k is None:
+                    raise TransformError(
+                        f"supervised goal {indicator[0]}/{indicator[1]} has "
+                        f"no declared output position (pass it in 'outputs')"
+                    )
+                out_var = inner.args[k - 1]
+                target = inner
+                if indicator in affected:
+                    target = Struct(inner.functor, (*inner.args, mon))
+                body.append(
+                    Struct(
+                        "sup_watch",
+                        (target, k, out_var, annotation.args[0], mon),
+                    )
+                )
+                continue
+            if inner.indicator in affected:
+                threaded = Struct(inner.functor, (*inner.args, mon))
+                body.append(with_placement(threaded, where))
+                continue
+            body.append(goal)
+        return Rule(head, rule.guards, body)
+
+    def _add_entry(self, out: Program) -> None:
+        # sup_run(A1..Ak) :-
+        #     open_port(Mon, S), supervisor(S, Timeout), entry(A1..Ak, Mon).
+        name, arity = self.entry
+        args = [Var(f"A{i + 1}") for i in range(arity)]
+        mon, stream = Var("Mon"), Var("S")
+        out.add_rule(
+            Rule(
+                Struct(SUP_RUN, tuple(args)),
+                [],
+                [
+                    Struct("open_port", (mon, stream)),
+                    Struct("supervisor", (stream, self.timeout)),
+                    Struct(name, (*args, mon)),
+                ],
+            )
+        )
+
+
+def supervise_motif(
+    outputs: dict[tuple[str, int], int],
+    entry: tuple[str, int],
+    *,
+    timeout: float = 40.0,
+    backoff: int = 2,
+    fallback: str = "0",
+    place: str = "random",
+) -> Motif:
+    """The Supervise motif.
+
+    ``place`` selects attempt dispatch: ``"random"`` (default) emits
+    ``call(Copy) @ random`` — requiring a Rand/Server stage above in the
+    stack — while ``"local"`` runs attempts on the supervisor's processor
+    (for standalone use).  ``fallback`` is Strand source text for the
+    degradation value.
+    """
+    if place == "random":
+        spawn = _SPAWN_RANDOM
+    elif place == "local":
+        spawn = _SPAWN_LOCAL
+    else:
+        raise ValueError(f"unknown placement {place!r}; use 'random' or 'local'")
+    return Motif(
+        name="supervise",
+        transformation=SuperviseTransformation(outputs, entry, timeout),
+        library=SUPERVISE_LIBRARY.format(
+            spawn=spawn, backoff=backoff, fallback=fallback
+        ),
+        services=SUPERVISE_SERVICES,
+    )
+
+
+def supervised_tree_reduce(
+    retries: int = 3,
+    timeout: float = 600.0,
+    backoff: int = 2,
+    fallback: str = "0",
+    server_library: str = "ports",
+) -> ComposedMotif:
+    """``Supervised-Tree-Reduce = Server ∘ Rand ∘ Supervise ∘ Tree1′``.
+
+    The entry message is ``sup_run(Tree, Value)`` (sent via ``create/2``,
+    like ``boot`` in the termination stack); ``Value`` is bound to the
+    reduction result, or to the fallback for subtrees whose every attempt
+    timed out.  ``timeout`` must exceed the fault-free completion time of
+    the largest supervised subcomputation (half the tree), or healthy
+    attempts will be retried and eventually degraded.
+    """
+    tree1_sup = Motif(
+        name="tree1-sup", library=TREE1_SUP_LIBRARY.format(retries=retries)
+    )
+    supervise = supervise_motif(
+        outputs={("reduce", 2): 2},
+        entry=("reduce", 2),
+        timeout=timeout,
+        backoff=backoff,
+        fallback=fallback,
+    )
+    return ComposedMotif(
+        [
+            tree1_sup,
+            supervise,
+            rand_motif(extra_entries=((SUP_RUN, 2),)),
+            server_motif(server_library),
+        ]
+    )

@@ -30,6 +30,7 @@ from repro.strand.terms import (
     Tup,
     Var,
     deref,
+    rename_term,
     term_eq,
 )
 
@@ -266,6 +267,89 @@ def _merge(engine, process, args, now):
         return 1.0
     blocked = [v for v in (xs, ys) if type(v) is Var]
     raise Suspend(blocked)
+
+
+# ---------------------------------------------------------------------------
+# Supervision primitives (see motifs/supervisor.py)
+# ---------------------------------------------------------------------------
+
+@_builtin("call", 1)
+def _call(engine, process, args, now):
+    """Metacall: spawn the (bound) argument as a new process here."""
+    goal = _need_bound(args[0])
+    if type(goal) not in (Struct, Atom):
+        raise StrandError(f"call/1 needs a goal, got {goal!r}")
+    engine.spawn(goal, process.proc, ready=now + 1.0, lib=process.lib)
+    return 1.0
+
+
+@_builtin("after", 2)
+def _after(engine, process, args, now):
+    """``after(Delay, Probe)`` — arm a virtual timer; when it fires, bind
+    ``Probe`` to ``timeout`` *unless something already bound it*.  An
+    expired no-op timer costs nothing and advances no clock, so timeouts
+    that never trip do not inflate the makespan."""
+    try:
+        delay = eval_arith(args[0])
+    except ArithFail as e:
+        raise StrandError(f"after/2 delay: {e}") from None
+    if not isinstance(delay, (int, float)) or delay < 0:
+        raise StrandError(f"after/2: delay must be a non-negative number, got {delay!r}")
+    probe = args[1]
+    proc = process.proc
+
+    def fire(fire_now: float, probe=probe, proc=proc):
+        if engine.bind_if_unbound(probe, Atom("timeout"), proc, fire_now):
+            engine.machine.fault_stats.sup_timeouts += 1
+            engine.machine.trace.record(fire_now, proc, "timeout", "after/2")
+
+    engine.scheduler.add_timer(now + delay, fire)
+    return 1.0
+
+
+@_builtin("soft_bind", 2)
+def _soft_bind(engine, process, args, now):
+    """Bind-if-unbound: the race-free resolution primitive.  First writer
+    (in deterministic event order) wins; later writers are no-ops."""
+    engine.bind_if_unbound(args[0], args[1], process.proc, now)
+    return 1.0
+
+
+@_builtin("sup_fresh", 4)
+def _sup_fresh(engine, process, args, now):
+    """``sup_fresh(Goal, K, Copy, CopyOut)`` — make a fresh-variable copy
+    of ``Goal`` (the retry-attempt primitive: each attempt gets private
+    variables so a late straggler from a previous attempt cannot collide
+    with the current one) and expose the copy and its K-th argument."""
+    goal = _need_bound(args[0])
+    k = _need_int(args[1], "sup_fresh/4 index")
+    if type(goal) is not Struct:
+        raise StrandError(f"sup_fresh/4 needs a structure goal, got {goal!r}")
+    if not 1 <= k <= len(goal.args):
+        raise StrandError(
+            f"sup_fresh/4 index {k} out of range 1..{len(goal.args)}"
+        )
+    copy = rename_term(goal)
+    engine.bind(args[2], copy, process.proc, now)
+    engine.bind(args[3], copy.args[k - 1], process.proc, now)
+    return 1.0
+
+
+@_builtin("sup_note", 1)
+def _sup_note(engine, process, args, now):
+    """Zero-cost supervision accounting hook: ``sup_note(retry)`` /
+    ``sup_note(degrade)`` bump the machine's fault counters."""
+    what = _need_bound(args[0])
+    name = what.name if type(what) is Atom else str(what)
+    stats = engine.machine.fault_stats
+    if name == "retry":
+        stats.sup_retries += 1
+    elif name == "degrade":
+        stats.sup_degraded += 1
+    else:
+        raise StrandError(f"sup_note/1: unknown event {name!r}")
+    engine.machine.trace.record(now, process.proc, "fault", f"sup:{name}")
+    return 0.0
 
 
 # ---------------------------------------------------------------------------

@@ -150,6 +150,7 @@ class StrandEngine:
         self.ports: list[PortRef] = []
         self._ports_closed = False
         self._quiesce_closes = 0
+        self._crash_timers_installed = False
 
     # -- compatibility views over the scheduler's state -----------------
     @property
@@ -187,11 +188,16 @@ class StrandEngine:
         return process
 
     def spawn_remote(self, goal: Term, src: int, dst: int, now: float,
-                     lib: bool = False) -> Process:
-        """Spawn on another processor; the task travels as a message."""
+                     lib: bool = False) -> Process | None:
+        """Spawn on another processor; the task travels as a message.
+
+        Under a fault plan the message may be dropped (returns ``None`` —
+        the task is simply lost, as on a real network) or delayed (the
+        fate's inflated latency is used).  The send is accounted either
+        way: the message left the source."""
         latency = 0.0
         if src != dst:
-            latency = self.machine.latency(src, dst)
+            fate, latency = self.machine.message_fate(src, dst, now)
             vp = self.machine.procs[src - 1]
             vp.sends += 1
             vp.hops += self.machine.hops(src, dst)
@@ -199,6 +205,8 @@ class StrandEngine:
                 self.machine.trace.record(
                     now, src, "send", f"spawn:{_msg_tag(goal)}->{dst}"
                 )
+            if fate == "drop":
+                return None
         indicator_lib = None
         goal_d = deref(goal)
         if type(goal_d) is Struct and goal_d.indicator in BUILTINS:
@@ -234,6 +242,20 @@ class StrandEngine:
         if waiters:
             self.scheduler.wake(waiters, proc, now)
 
+    def bind_if_unbound(self, target: Term, value: Term, proc: int,
+                        now: float) -> bool:
+        """Bind only when ``target`` is still an unbound variable; return
+        whether a binding happened.  This is the race-free primitive the
+        supervision motif needs: a timeout and a late-completing attempt
+        may both try to resolve the same probe, and whichever runs first in
+        the deterministic event order wins — the loser is a no-op instead
+        of a double-assignment error."""
+        target = deref(target)
+        if type(target) is not Var:
+            return False
+        self.bind(target, value, proc, now)
+        return True
+
     def double_assignment(self, target: Term, value: Term, process: Process | None):
         from repro.strand.pretty import format_term
 
@@ -252,10 +274,9 @@ class StrandEngine:
     def port_send(self, port: PortRef, msg: Term, src: int, now: float) -> None:
         if port.closed:
             raise StrandError(f"send on closed port {port!r}")
-        old_tail = port.tail
-        new_tail = Var("PortTail")
-        port.tail = new_tail
+        deliver_at = now
         if src != port.owner:
+            fate, latency = self.machine.message_fate(src, port.owner, now)
             vp = self.machine.procs[src - 1]
             vp.sends += 1
             vp.hops += self.machine.hops(src, port.owner)
@@ -263,7 +284,17 @@ class StrandEngine:
                 self.machine.trace.record(
                     now, src, "send", f"port:{_msg_tag(msg)}->{port.owner}"
                 )
-        self.bind(old_tail, Cons(msg, new_tail), src, now)
+            if fate == "drop":
+                # Lost message: the stream tail does not advance, so the
+                # dropped element simply never appears — later sends splice
+                # in after the last delivered one.
+                return
+            if fate == "delay":
+                deliver_at = now + (latency - self.machine.latency(src, port.owner))
+        old_tail = port.tail
+        new_tail = Var("PortTail")
+        port.tail = new_tail
+        self.bind(old_tail, Cons(msg, new_tail), src, deliver_at)
 
     def port_close(self, port: PortRef, src: int, now: float) -> None:
         if port.closed:
@@ -288,8 +319,42 @@ class StrandEngine:
         """Run until the pool drains.  Raises :class:`DeadlockError` if
         suspended processes remain that cannot be resolved by closing
         ports, and :class:`ProcessFailureError` on unmatched processes."""
+        # Display names for anonymous variables restart at _G1 each run, so
+        # same-seed runs in one process emit byte-identical traces (the
+        # counter is otherwise process-global and would keep climbing).
+        Var.reset_names()
+        self._install_crash_timers()
         self.scheduler.run(self.reducer.execute, self._try_quiesce)
         return self.machine.metrics()
+
+    def _install_crash_timers(self) -> None:
+        """Arm one scheduler timer per entry in the machine's seed-fixed
+        crash schedule (idempotent across repeated ``run`` calls)."""
+        if self._crash_timers_installed:
+            return
+        self._crash_timers_installed = True
+        for pnum in sorted(self.machine.crash_schedule):
+            when = self.machine.crash_schedule[pnum]
+            self.scheduler.add_timer(
+                when, lambda now, p=pnum: self._crash(p, now)
+            )
+
+    def _crash(self, pnum: int, now: float) -> None:
+        migrate_to = None
+        faults = self.machine.faults
+        if faults is not None and faults.migrate:
+            migrate_to = self._next_live(pnum)
+        self.scheduler.kill_processor(pnum, now, migrate_to=migrate_to)
+
+    def _next_live(self, pnum: int) -> int | None:
+        """The next live processor after ``pnum`` in ring order (migration
+        target for a crashed processor's runnable queue)."""
+        size = self.machine.size
+        for offset in range(1, size):
+            candidate = (pnum - 1 + offset) % size + 1
+            if self.machine.procs[candidate - 1].alive:
+                return candidate
+        return None
 
     def _try_quiesce(self) -> bool:
         """All runnable work is gone but suspensions remain.  If every

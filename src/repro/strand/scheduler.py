@@ -74,8 +74,18 @@ class Scheduler:
         self.events: list = []
         # One live event marker per processor (None = none outstanding).
         self.event_time: list[float | None] = [None] * size
+        # Timed callbacks — ``(time, seq, fn)`` — interleaved with the event
+        # heap in virtual-time order (timer first on ties).  Crash events
+        # and supervision timeouts (``after/2``) both live here, so failure
+        # injection and failure *handling* share one deterministic clock.
+        self.timers: list = []
         self.seq = 0
         self.suspended: dict[int, Process] = {}
+        # Processes that were suspended on a processor when it crashed:
+        # removed from the suspension table (they will never run) but kept
+        # for the deadlock report, which names them as the likely reason
+        # other processes are stuck.
+        self.orphans: list[Process] = []
         self.live = 0
         self.max_reductions = max_reductions
         self.reduction_budget = max_reductions
@@ -88,9 +98,23 @@ class Scheduler:
         return self.seq
 
     def push(self, process) -> None:
+        vp = self.machine.procs[process.proc - 1]
+        if not vp.alive:
+            # Fail-stop: work destined for a crashed processor is lost.
+            process.state = DONE
+            self.live -= 1
+            self.machine.fault_stats.processes_abandoned += 1
+            return
         heappush(self.queues[process.proc - 1], (process.ready, process.seq, process))
-        clock = self.machine.procs[process.proc - 1].clock
-        self.schedule(process.proc, max(process.ready, clock))
+        self.schedule(process.proc, max(process.ready, vp.clock))
+
+    def add_timer(self, time: float, fn: Callable[[float], None]) -> None:
+        """Arm a callback at virtual time ``time``; ``fn(now)`` runs before
+        any reduction scheduled at a later time (and before reductions at
+        the same time).  Callbacks are charged no cost, so a timer that has
+        nothing to do (e.g. an ``after/2`` whose probe is already bound)
+        never inflates the makespan."""
+        heappush(self.timers, (time, self.next_seq(), fn))
 
     def schedule(self, pnum: int, time: float) -> None:
         """Ensure the event heap holds a marker for processor ``pnum`` at or
@@ -171,8 +195,13 @@ class Scheduler:
         events = self.events
         queues = self.queues
         event_time = self.event_time
+        timers = self.timers
         while True:
-            while events:
+            while events or timers:
+                if timers and (not events or timers[0][0] <= events[0][0]):
+                    time, _, fn = heappop(timers)
+                    fn(time)
+                    continue
                 time, _, pnum = heappop(events)
                 if event_time[pnum - 1] != time:
                     continue  # stale duplicate marker
@@ -211,6 +240,58 @@ class Scheduler:
                 self.deadlock()
 
     # ------------------------------------------------------------------
+    # Processor failure
+    # ------------------------------------------------------------------
+    def kill_processor(self, pnum: int, now: float,
+                       migrate_to: int | None = None) -> None:
+        """Fail-stop processor ``pnum`` at virtual time ``now``.
+
+        Runnable processes queued there are abandoned — or, when
+        ``migrate_to`` names a live processor, requeued on it after one
+        network hop's latency (checkpoint-style recovery).  Suspended
+        processes become orphans: removed from the suspension table (no
+        binding can ever run them again) and kept for the deadlock report.
+        """
+        vp = self.machine.procs[pnum - 1]
+        if not vp.alive:
+            return
+        vp.alive = False
+        vp.crashed_at = now
+        stats = self.machine.fault_stats
+        stats.crashes += 1
+        self.machine.trace.record(now, pnum, "crash", f"p{pnum}")
+        # Drain the runnable queue deterministically (readiness, then seq).
+        entries = sorted(self.queues[pnum - 1])
+        self.queues[pnum - 1] = []
+        # Any outstanding event marker becomes stale (None never equals a
+        # popped time), so the run loop skips it.
+        self.event_time[pnum - 1] = None
+        for ready, _seq, process in entries:
+            if process.state != RUNNABLE:
+                continue
+            if migrate_to is not None:
+                process.proc = migrate_to
+                process.ready = max(ready, now) + self.machine.latency(
+                    pnum, migrate_to
+                )
+                stats.processes_migrated += 1
+                self.machine.trace.record(
+                    now, pnum, "fault", f"migrate:{process.goal.functor}->p{migrate_to}"
+                )
+                self.push(process)
+            else:
+                process.state = DONE
+                self.live -= 1
+                stats.processes_abandoned += 1
+        for key, process in list(self.suspended.items()):
+            if process.proc == pnum:
+                del self.suspended[key]
+                process.state = DONE
+                self.live -= 1
+                self.orphans.append(process)
+                stats.orphaned_suspensions += 1
+
+    # ------------------------------------------------------------------
     # Deadlock reporting
     # ------------------------------------------------------------------
     def deadlock(self) -> None:
@@ -229,7 +310,17 @@ class Scheduler:
             lines.append(process.describe() + suffix)
         more = len(stuck) - len(shown)
         listing = "\n  ".join(lines) + (f"\n  ... and {more} more" if more > 0 else "")
+        orphan_note = ""
+        if self.orphans:
+            lost = sorted(self.orphans, key=lambda p: (p.proc, p.seq))
+            names = ", ".join(p.describe() for p in lost[:6])
+            extra = len(lost) - min(len(lost), 6)
+            orphan_note = (
+                f"\n{len(lost)} suspension(s) orphaned by crashed "
+                f"processor(s): {names}"
+                + (f", ... and {extra} more" if extra > 0 else "")
+            )
         raise DeadlockError(
             f"computation deadlocked with {len(stuck)} suspended "
-            f"process(es):\n  {listing}"
+            f"process(es):\n  {listing}" + orphan_note
         )

@@ -60,6 +60,16 @@ class Var:
 
     _counter = 0
 
+    @classmethod
+    def reset_names(cls) -> None:
+        """Restart the anonymous-name counter (``_G1``, ``_G2``, …).
+
+        Names exist only for display — identity is the object — so the
+        engine resets the counter at the start of every run, making trace
+        and deadlock output byte-identical across same-seed runs in one
+        process."""
+        cls._counter = 0
+
     def __init__(self, name: str | None = None):
         self.ref: Any = _UNBOUND
         if name is None:
