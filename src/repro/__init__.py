@@ -20,6 +20,7 @@ from repro.core import (
     default_registry,
     get_motif,
     reduce_tree,
+    reliable_reduce_tree,
     supervised_reduce_tree,
 )
 from repro.machine import Machine
@@ -33,6 +34,7 @@ __all__ = [
     "AppliedMotif",
     "RunResult",
     "reduce_tree",
+    "reliable_reduce_tree",
     "supervised_reduce_tree",
     "get_motif",
     "default_registry",

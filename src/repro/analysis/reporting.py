@@ -7,7 +7,7 @@ would have, had it printed numbers.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import Any, Sequence
 
 __all__ = ["Table", "format_value", "banner"]
 

@@ -1,7 +1,15 @@
 """The paper's core contribution: motifs as (transformation, library) pairs
 with composition, plus the high-level run API."""
 
-from repro.core.api import RunResult, TREE_STRATEGIES, as_application, reduce_tree, run_applied, supervised_reduce_tree
+from repro.core.api import (
+    RunResult,
+    TREE_STRATEGIES,
+    as_application,
+    reduce_tree,
+    reliable_reduce_tree,
+    run_applied,
+    supervised_reduce_tree,
+)
 from repro.core.motif import AppliedMotif, ComposedMotif, Motif, library_from_source
 from repro.core.pragmas import RANDOM, TASK, annotate, is_pragma_goal, pragma_name
 from repro.core.registry import MotifRegistry, default_registry, get_motif, register_motif
@@ -13,6 +21,7 @@ __all__ = [
     "library_from_source",
     "RunResult",
     "reduce_tree",
+    "reliable_reduce_tree",
     "supervised_reduce_tree",
     "run_applied",
     "as_application",

@@ -34,7 +34,6 @@ from repro.motifs.tree_reduce2 import tree_reduce_2
 from repro.apps import trees
 from repro.strand.engine import StrandEngine
 from repro.strand.foreign import ForeignRegistry, to_python
-from repro.strand.parser import parse_program
 from repro.strand.program import Program
 from repro.strand.terms import Struct, Term, Var, deref
 
@@ -42,6 +41,7 @@ __all__ = [
     "RunResult",
     "run_applied",
     "reduce_tree",
+    "reliable_reduce_tree",
     "supervised_reduce_tree",
     "TREE_STRATEGIES",
     "as_application",
@@ -108,6 +108,22 @@ def _supervised_stack(
     )
 
 
+@lru_cache(maxsize=_STACK_CACHE_SIZE)
+def _reliable_stack(
+    retries: int, timeout: float, backoff: int, max_timeout: float,
+    supervise: bool, sup_retries: int, sup_timeout: float,
+    fallback: str, server_library: str,
+) -> Motif:
+    from repro.motifs.reliable import reliable_tree_reduce
+
+    return reliable_tree_reduce(
+        retries=retries, timeout=timeout, backoff=backoff,
+        max_timeout=max_timeout, supervise=supervise,
+        sup_retries=sup_retries, sup_timeout=sup_timeout,
+        fallback=fallback, server_library=server_library,
+    )
+
+
 @lru_cache(maxsize=_APPLICATION_CACHE_SIZE)
 def _empty_application(name: str) -> Program:
     """A shared, never-mutated empty application program.  One object per
@@ -149,6 +165,7 @@ def run_applied(
     watched: Iterable[tuple[str, int]] = (),
     foreign: ForeignRegistry | None = None,
     max_reductions: int = 5_000_000,
+    **engine_options: Any,
 ) -> tuple[StrandEngine, MachineMetrics]:
     """Run already-constructed goal terms against an applied motif stack."""
     engine = StrandEngine(
@@ -159,6 +176,7 @@ def run_applied(
         library=applied.library_indicators,
         services=applied.services,
         max_reductions=max_reductions,
+        **engine_options,
     )
     if isinstance(goals, (Struct,)):
         goals = [goals]
@@ -251,6 +269,77 @@ def reduce_tree(
     if type(value) is Var:
         raise ReproError(
             f"tree reduction under {strategy!r} finished without binding the result"
+        )
+    return RunResult(to_python(value), metrics, {"Value": value_var}, engine, applied)
+
+
+def reliable_reduce_tree(
+    tree: trees.Tree,
+    evaluator: str | Callable | Program,
+    *,
+    processors: int = 4,
+    machine: Machine | None = None,
+    seed: int = 0,
+    topology: str | None = None,
+    retries: int = 6,
+    timeout: float = 30.0,
+    backoff: int = 2,
+    max_timeout: float = 240.0,
+    supervise: bool = False,
+    sup_retries: int = 3,
+    sup_timeout: float = 600.0,
+    fallback: str = "0",
+    server_library: str = "ports",
+    eval_cost: float | Callable[..., float] = 1.0,
+    max_reductions: int = 5_000_000,
+) -> RunResult:
+    """Reduce a binary tree under the Reliable delivery stack
+    (``Server ∘ Reliable ∘ Rand ∘ Tree1``), optionally with the Supervise
+    layer between Rand and Tree1 (``supervise=True``).
+
+    Pass a :class:`Machine` built with a lossy
+    :class:`~repro.machine.faults.FaultPlan` (message drops, duplicates,
+    partitions) to exercise the protocol; the result's ``metrics`` then
+    carry the reliability counters (retransmits, acks, duplicates
+    suppressed, unreachable reports), and destinations the protocol gave
+    up on are listed in ``result.engine.rel_state.unreachable``.  The
+    supervised variant runs with ``abandon_stragglers=True``: attempts
+    superseded by a Supervise retry may be permanently stranded by message
+    loss, and are abandoned at quiescence rather than reported as a
+    deadlock.
+    """
+    if machine is None:
+        machine = Machine(processors, topology=topology, seed=seed)
+    application, setup = as_application(evaluator, cost=eval_cost)
+    if isinstance(tree, trees.Leaf):
+        applied = AppliedMotif(program=application)
+        engine = StrandEngine(application, machine=machine)
+        return RunResult(tree.value, machine.metrics(), {}, engine, applied)
+    motif = _reliable_stack(
+        retries, timeout, backoff, max_timeout,
+        supervise, sup_retries, sup_timeout, fallback, server_library,
+    )
+    applied = motif.apply(application)
+    if setup is not None:
+        applied.foreign_setup.append(setup)
+        applied.user_names.add("eval")
+    value_var = Var("Value")
+    entry = "sup_run" if supervise else "reduce"
+    goal = Struct(
+        "create",
+        (machine.size, Struct(entry, (trees.tree_term(tree), value_var))),
+    )
+    engine, metrics = run_applied(
+        applied, goal, machine, watched=[("eval", 4)],
+        max_reductions=max_reductions,
+        abandon_stragglers=supervise,
+    )
+    value = deref(value_var)
+    if type(value) is Var:
+        raise ReproError(
+            "reliable tree reduction finished without binding the result "
+            "(destination permanently unreachable? check "
+            "engine.rel_state.unreachable)"
         )
     return RunResult(to_python(value), metrics, {"Value": value_var}, engine, applied)
 

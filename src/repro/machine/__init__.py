@@ -2,7 +2,7 @@
 metrics, and the :class:`~repro.machine.simulator.Machine` the Strand engine
 runs on."""
 
-from repro.machine.faults import FaultPlan, FaultStats
+from repro.machine.faults import FaultPlan, FaultStats, Partition
 from repro.machine.metrics import MachineMetrics, coefficient_of_variation, imbalance, jain_fairness
 from repro.machine.network import Network
 from repro.machine.processor import VirtualProcessor
@@ -26,6 +26,7 @@ __all__ = [
     "MachineMetrics",
     "FaultPlan",
     "FaultStats",
+    "Partition",
     "Network",
     "VirtualProcessor",
     "Topology",

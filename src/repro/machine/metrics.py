@@ -10,7 +10,7 @@ balance, E3), message and hop counts (E5), and watched-task high-water marks
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.machine.processor import VirtualProcessor
 
@@ -72,6 +72,8 @@ class MachineMetrics:
     crashes: int = 0
     messages_dropped: int = 0
     messages_delayed: int = 0
+    messages_duplicated: int = 0
+    partition_dropped: int = 0
     processes_abandoned: int = 0
     processes_migrated: int = 0
     orphaned_suspensions: int = 0
@@ -79,6 +81,12 @@ class MachineMetrics:
     sup_timeouts: int = 0
     sup_retries: int = 0
     sup_degraded: int = 0
+    # Reliable-motif responses: retransmissions, receiver acks, duplicate
+    # deliveries suppressed, and destinations reported unreachable.
+    rel_retransmits: int = 0
+    rel_acks: int = 0
+    rel_duplicates_suppressed: int = 0
+    rel_unreachable: int = 0
     # Events the Trace dropped past its limit — nonzero means every
     # trace-derived figure is a lower bound.
     trace_dropped: int = 0
@@ -162,7 +170,19 @@ class MachineMetrics:
 
     @property
     def faults_injected(self) -> int:
-        return self.crashes + self.messages_dropped + self.messages_delayed
+        return (
+            self.crashes + self.messages_dropped + self.messages_delayed
+            + self.messages_duplicated + self.partition_dropped
+        )
+
+    @property
+    def reliability_events(self) -> int:
+        """All Reliable-motif protocol activity (zero when the motif is
+        absent or never had to act)."""
+        return (
+            self.rel_retransmits + self.rel_acks
+            + self.rel_duplicates_suppressed + self.rel_unreachable
+        )
 
     def summary(self) -> str:
         text = (
@@ -175,9 +195,17 @@ class MachineMetrics:
         if self.faults_injected:
             text += (
                 f" faults(crashes={self.crashes}, dropped={self.messages_dropped}, "
-                f"delayed={self.messages_delayed}, abandoned={self.processes_abandoned}, "
+                f"delayed={self.messages_delayed}, duplicated={self.messages_duplicated}, "
+                f"partition_dropped={self.partition_dropped}, "
+                f"abandoned={self.processes_abandoned}, "
                 f"orphans={self.orphaned_suspensions}, retries={self.sup_retries}, "
                 f"degraded={self.sup_degraded})"
+            )
+        if self.reliability_events:
+            text += (
+                f" reliable(retransmits={self.rel_retransmits}, acks={self.rel_acks}, "
+                f"dup_suppressed={self.rel_duplicates_suppressed}, "
+                f"unreachable={self.rel_unreachable})"
             )
         if self.trace_dropped:
             text += f" trace_dropped={self.trace_dropped}"

@@ -16,7 +16,7 @@ from __future__ import annotations
 import random
 
 from repro.errors import MachineError
-from repro.machine.faults import FaultPlan, FaultStats
+from repro.machine.faults import FaultPlan, FaultStats, Partition
 from repro.machine.metrics import MachineMetrics
 from repro.machine.network import Network
 from repro.machine.processor import VirtualProcessor
@@ -85,6 +85,11 @@ class Machine:
         self.crash_schedule: dict[int, float] = (
             faults.resolve_crashes(processors, self.rng) if faults else {}
         )
+        # Partition windows, resolved after the crash schedule (explicit
+        # cuts plus at most one random one) so both are fixed by the seed.
+        self.partitions: tuple[Partition, ...] = (
+            faults.resolve_partitions(processors, self.rng) if faults else ()
+        )
         # Cost split for experiment E8; the engine fills these in.
         self.library_cost = 0.0
         self.user_cost = 0.0
@@ -118,16 +123,29 @@ class Machine:
         return self.rng.randint(1, len(self.procs))
 
     # -- fault injection ----------------------------------------------------
-    def message_fate(self, src: int, dst: int, now: float) -> tuple[str, float]:
+    def link_cut(self, src: int, dst: int, now: float) -> bool:
+        """True when an active partition severs the ``src -> dst`` link at
+        virtual time ``now`` (no RNG involved)."""
+        return any(p.severs(src, dst, now) for p in self.partitions)
+
+    def message_fate(
+        self, src: int, dst: int, now: float, *, duplicable: bool = True
+    ) -> tuple[str, float]:
         """Decide what happens to an explicit message sent ``src -> dst`` at
-        virtual time ``now``: ``('deliver' | 'drop' | 'delay', latency)``.
+        virtual time ``now``:
+        ``('deliver' | 'drop' | 'delay' | 'duplicate', latency)``.
 
         A message arriving at a processor that is (or will by then be)
-        crashed is lost deterministically — no RNG draw, so the draw
-        sequence stays identical across fault-plan variations that only
-        change crash times.  Drop/delay draws happen only when the plan is
-        lossy, so a fault-free machine replays pre-failure-model traces
-        byte-for-byte.
+        crashed is lost deterministically, as is one crossing an active
+        partition — no RNG draw in either case, so the draw sequence stays
+        identical across fault-plan variations that only change crash times
+        or partition windows.  Drop/delay/duplicate draws happen only when
+        the plan is lossy, so a fault-free machine replays
+        pre-failure-model traces byte-for-byte.
+
+        ``duplicable=False`` (the remote-spawn path) keeps the RNG draw —
+        so the sequence never depends on the message kind — but resolves a
+        duplicate outcome to a plain delivery.
         """
         latency = self.network.latency(src, dst)
         faults = self.faults
@@ -140,6 +158,10 @@ class Machine:
             self.fault_stats.messages_dropped += 1
             self.trace.record(now, src, "fault", f"drop:dead-dest p{dst}")
             return "drop", latency
+        if self.link_cut(src, dst, now):
+            self.fault_stats.partition_dropped += 1
+            self.trace.record(now, src, "fault", f"drop:partition->p{dst}")
+            return "drop", latency
         if faults.lossy:
             draw = self.rng.random()
             if draw < faults.drop_rate:
@@ -151,6 +173,13 @@ class Machine:
                 latency *= 1.0 + faults.delay_factor
                 self.trace.record(now, src, "fault", f"delay:msg->p{dst}")
                 return "delay", latency
+            if (
+                duplicable
+                and draw < faults.drop_rate + faults.delay_rate + faults.duplicate_rate
+            ):
+                self.fault_stats.messages_duplicated += 1
+                self.trace.record(now, src, "fault", f"dup:msg->p{dst}")
+                return "duplicate", latency
         return "deliver", latency
 
     # -- results ------------------------------------------------------------
@@ -163,19 +192,26 @@ class Machine:
             crashes=fs.crashes,
             messages_dropped=fs.messages_dropped,
             messages_delayed=fs.messages_delayed,
+            messages_duplicated=fs.messages_duplicated,
+            partition_dropped=fs.partition_dropped,
             processes_abandoned=fs.processes_abandoned,
             processes_migrated=fs.processes_migrated,
             orphaned_suspensions=fs.orphaned_suspensions,
             sup_timeouts=fs.sup_timeouts,
             sup_retries=fs.sup_retries,
             sup_degraded=fs.sup_degraded,
+            rel_retransmits=fs.rel_retransmits,
+            rel_acks=fs.rel_acks,
+            rel_duplicates_suppressed=fs.rel_duplicates_suppressed,
+            rel_unreachable=fs.rel_unreachable,
             trace_dropped=self.trace.dropped,
         )
 
     def reset(self) -> None:
         """Clear all processor state and counters; keep topology, seed, and
         fault plan (the re-seeded RNG re-resolves the identical crash
-        schedule)."""
+        schedule and partition windows), so back-to-back runs on one
+        machine report per-run — not cumulative — fault counts."""
         self.procs = [VirtualProcessor(number=i + 1) for i in range(len(self.procs))]
         self.rng = random.Random(self.seed)
         self.trace.clear()
@@ -184,6 +220,11 @@ class Machine:
             self.faults.resolve_crashes(len(self.procs), self.rng)
             if self.faults
             else {}
+        )
+        self.partitions = (
+            self.faults.resolve_partitions(len(self.procs), self.rng)
+            if self.faults
+            else ()
         )
         self.library_cost = 0.0
         self.user_cost = 0.0

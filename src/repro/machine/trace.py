@@ -7,7 +7,7 @@ stay cheap and are trivially comparable in tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 __all__ = ["TraceEvent", "Trace"]

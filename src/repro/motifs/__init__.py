@@ -7,6 +7,11 @@ from repro.motifs.collective import allreduce_goals, central_reduce_goals, colle
 from repro.motifs.graph import graph_motif, sssp_goals
 from repro.motifs.monitor import monitor_motif
 from repro.motifs.random_map import RandTransformation, rand_motif, random_motif
+from repro.motifs.reliable import (
+    ReliableTransformation,
+    reliable_motif,
+    reliable_tree_reduce,
+)
 from repro.motifs.server import (
     MERGE_LIBRARY,
     PORT_LIBRARY,
@@ -44,6 +49,9 @@ __all__ = [
     "rand_motif",
     "random_motif",
     "RandTransformation",
+    "reliable_motif",
+    "reliable_tree_reduce",
+    "ReliableTransformation",
     "short_circuit_motif",
     "ShortCircuit",
     "supervise_motif",

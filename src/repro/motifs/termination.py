@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from repro.errors import TransformError
 from repro.strand.program import Program, Rule
-from repro.strand.terms import Atom, Cons, Struct, Term, Var
+from repro.strand.terms import Atom, Struct, Term, Var
 from repro.transform.callgraph import CallGraph
 from repro.transform.rewrite import strip_placement, with_placement
 from repro.transform.transformation import Transformation

@@ -299,6 +299,11 @@ def _after(engine, process, args, now):
     proc = process.proc
 
     def fire(fire_now: float, probe=probe, proc=proc):
+        # A timer armed by a processor that has since crashed must not
+        # fire: fail-stop means the processor executes nothing further,
+        # including its pending timeouts.
+        if not engine.machine.procs[proc - 1].alive:
+            return
         if engine.bind_if_unbound(probe, Atom("timeout"), proc, fire_now):
             engine.machine.fault_stats.sup_timeouts += 1
             engine.machine.trace.record(fire_now, proc, "timeout", "after/2")
@@ -350,6 +355,94 @@ def _sup_note(engine, process, args, now):
         raise StrandError(f"sup_note/1: unknown event {name!r}")
     engine.machine.trace.record(now, process.proc, "fault", f"sup:{name}")
     return 0.0
+
+
+# ---------------------------------------------------------------------------
+# Reliable-delivery primitives (see motifs/reliable.py)
+# ---------------------------------------------------------------------------
+
+@_builtin("rel_seq", 2)
+def _rel_seq(engine, process, args, now):
+    """``rel_seq(Node, Tok)`` — assign the next per-(sender, destination)
+    sequence number and bind ``Tok`` to the send token
+    ``sid(Sender, Node, Seq)`` that identifies this logical message across
+    retransmissions."""
+    node = _need_int(args[0], "rel_seq/2 node")
+    key = (process.proc, node)
+    state = engine.rel_state
+    seq = state.next_seq.get(key, 0) + 1
+    state.next_seq[key] = seq
+    engine.bind(args[1], Struct("sid", (process.proc, node, seq)), process.proc, now)
+    return 1.0
+
+
+def _rel_token(term: Term, what: str) -> tuple[int, int, int]:
+    tok = _need_bound(term)
+    if type(tok) is not Struct or tok.indicator != ("sid", 3):
+        raise StrandError(f"{what} needs a sid/3 token, got {tok!r}")
+    parts = tuple(deref(a) for a in tok.args)
+    if not all(isinstance(p, int) for p in parts):
+        raise StrandError(f"{what}: malformed token {tok!r}")
+    return parts  # type: ignore[return-value]
+
+
+@_builtin("rel_accept", 2)
+def _rel_accept(engine, process, args, now):
+    """``rel_accept(Tok, Verdict)`` — receive-side dedup: bind ``Verdict``
+    to ``new`` the first time a token is seen and ``dup`` on every
+    redelivery (retransmission or network duplicate)."""
+    key = _rel_token(args[0], "rel_accept/2")
+    state = engine.rel_state
+    if key in state.seen:
+        engine.machine.fault_stats.rel_duplicates_suppressed += 1
+        engine.machine.trace.record(
+            now, process.proc, "fault", f"rel:dup-suppressed p{key[0]}#{key[2]}"
+        )
+        verdict = Atom("dup")
+    else:
+        state.seen.add(key)
+        verdict = Atom("new")
+    engine.bind(args[1], verdict, process.proc, now)
+    return 1.0
+
+
+@_builtin("rel_ack", 1)
+def _rel_ack(engine, process, args, now):
+    """``rel_ack(Ack)`` — acknowledge receipt by binding the sender's ack
+    variable (variable-binding wakeups are reliable in the failure model,
+    so the ack itself cannot be lost).  Idempotent: redeliveries re-ack the
+    already-bound variable at no cost."""
+    if engine.bind_if_unbound(args[0], Atom("ack"), process.proc, now):
+        engine.machine.fault_stats.rel_acks += 1
+    return 1.0
+
+
+@_builtin("rel_note", 1)
+def _rel_note(engine, process, args, now):
+    """Zero-cost reliability accounting hook: ``rel_note(retransmit)``."""
+    what = _need_bound(args[0])
+    name = what.name if type(what) is Atom else str(what)
+    if name == "retransmit":
+        engine.machine.fault_stats.rel_retransmits += 1
+    else:
+        raise StrandError(f"rel_note/1: unknown event {name!r}")
+    engine.machine.trace.record(now, process.proc, "fault", f"rel:{name}")
+    return 0.0
+
+
+@_builtin("rel_dead", 2)
+def _rel_dead(engine, process, args, now):
+    """``rel_dead(Node, Tok)`` — the retry cap is exhausted: report ``Node``
+    permanently unreachable on the engine's status stream
+    (``engine.rel_state.unreachable``) instead of hanging the sender."""
+    node = _need_int(args[0], "rel_dead/2 node")
+    key = _rel_token(args[1], "rel_dead/2")
+    engine.machine.fault_stats.rel_unreachable += 1
+    engine.rel_state.unreachable.append(key)
+    engine.machine.trace.record(
+        now, process.proc, "fault", f"rel:unreachable p{node}#{key[2]}"
+    )
+    return 1.0
 
 
 # ---------------------------------------------------------------------------

@@ -34,7 +34,7 @@ complexity accounting consume it instead of re-deriving their own maps.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable
+from typing import Any, Callable
 
 from repro.strand.arith import ArithFail, Suspend, eval_arith
 from repro.strand.match import (

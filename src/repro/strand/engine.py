@@ -48,7 +48,7 @@ from repro.strand.scheduler import DONE, RUNNABLE, SUSPENDED, Process, Scheduler
 from repro.strand.streams import PortRef
 from repro.strand.terms import Atom, Cons, NIL, Struct, Term, Var, deref, term_eq
 
-__all__ = ["Process", "StrandEngine", "QueryResult", "run_query"]
+__all__ = ["Process", "ReliableState", "StrandEngine", "QueryResult", "run_query"]
 
 # Backwards-compatible aliases for the process states now defined in the
 # scheduler module.
@@ -65,6 +65,21 @@ def _msg_tag(msg: Term) -> str:
     if type(msg) is Atom:
         return msg.name
     return type(msg).__name__.lower()
+
+
+class ReliableState:
+    """Per-engine bookkeeping for the Reliable motif's builtins.
+
+    ``next_seq`` assigns per-(sender processor, destination) sequence
+    numbers; ``seen`` is the receive-side dedup set of delivered
+    ``(sender, destination, seq)`` tokens; ``unreachable`` is the status
+    stream — one entry per destination the protocol gave up on, in
+    delivery order."""
+
+    def __init__(self):
+        self.next_seq: dict[tuple[int, int], int] = {}
+        self.seen: set[tuple[int, int, int]] = set()
+        self.unreachable: list[tuple[int, int, int]] = []
 
 
 class QueryResult:
@@ -114,6 +129,16 @@ class StrandEngine:
         When False, rule selection falls back to a linear scan over the
         compiled rules (the benchmark ablation switch); semantics are
         identical either way.
+    abandon_stragglers:
+        When True, processes still suspended once the computation is
+        otherwise quiescent (no runnable work, no pending timers, ports
+        already closed) are abandoned instead of raising
+        :class:`DeadlockError`.  Message-loss faults can permanently strand
+        the guts of a superseded supervision attempt — its retry already
+        resolved the output the stragglers were computing — so the
+        Reliable ∘ Supervise composition opts in.  Abandoned stragglers are
+        counted as ``processes_abandoned`` and traced.  Leave False (the
+        default) anywhere deadlock detection matters.
     """
 
     def __init__(
@@ -129,6 +154,7 @@ class StrandEngine:
         auto_close_ports: bool = True,
         reduction_cost: float = 1.0,
         indexing: bool = True,
+        abandon_stragglers: bool = False,
     ):
         self.program = program
         self.machine = machine or Machine(1)
@@ -139,6 +165,7 @@ class StrandEngine:
         self.max_reductions = max_reductions
         self.auto_close_ports = auto_close_ports
         self.reduction_cost = reduction_cost
+        self.abandon_stragglers = abandon_stragglers
 
         self.compiled: CompiledProgram = compile_program(program, index=indexing)
         self.scheduler = Scheduler(self.machine, max_reductions)
@@ -147,6 +174,7 @@ class StrandEngine:
         )
 
         self.output: list[str] = []
+        self.rel_state = ReliableState()
         self.ports: list[PortRef] = []
         self._ports_closed = False
         self._quiesce_closes = 0
@@ -197,7 +225,9 @@ class StrandEngine:
         way: the message left the source."""
         latency = 0.0
         if src != dst:
-            fate, latency = self.machine.message_fate(src, dst, now)
+            fate, latency = self.machine.message_fate(
+                src, dst, now, duplicable=False
+            )
             vp = self.machine.procs[src - 1]
             vp.sends += 1
             vp.hops += self.machine.hops(src, dst)
@@ -291,10 +321,18 @@ class StrandEngine:
                 return
             if fate == "delay":
                 deliver_at = now + (latency - self.machine.latency(src, port.owner))
+            if fate == "duplicate":
+                # At-least-once artefact: the element is spliced into the
+                # stream twice, back to back.  Receivers without dedup see
+                # the message twice.
+                self._port_append(port, msg, src, deliver_at)
+        self._port_append(port, msg, src, deliver_at)
+
+    def _port_append(self, port: PortRef, msg: Term, src: int, at: float) -> None:
         old_tail = port.tail
         new_tail = Var("PortTail")
         port.tail = new_tail
-        self.bind(old_tail, Cons(msg, new_tail), src, deliver_at)
+        self.bind(old_tail, Cons(msg, new_tail), src, at)
 
     def port_close(self, port: PortRef, src: int, now: float) -> None:
         if port.closed:
@@ -359,16 +397,36 @@ class StrandEngine:
     def _try_quiesce(self) -> bool:
         """All runnable work is gone but suspensions remain.  If every
         suspended process is a declared service, close the ports so the
-        services can see end-of-stream and finish."""
-        if self._ports_closed or not self.auto_close_ports:
-            return False
-        for process in self.scheduler.suspended.values():
-            if process.goal.indicator not in self.services:
-                return False
-        now = max(p.clock for p in self.machine.procs)
-        closed = self.close_all_ports(now)
-        if closed > 0:
-            self._quiesce_closes += 1
+        services can see end-of-stream and finish.  With
+        ``abandon_stragglers``, non-service suspensions do not block the
+        close (they may be stragglers of superseded supervision attempts),
+        and whatever is still suspended after the close is abandoned
+        rather than reported as a deadlock."""
+        if not self._ports_closed and self.auto_close_ports:
+            releasable = self.abandon_stragglers or all(
+                process.goal.indicator in self.services
+                for process in self.scheduler.suspended.values()
+            )
+            if releasable:
+                now = max(p.clock for p in self.machine.procs)
+                if self.close_all_ports(now) > 0:
+                    self._quiesce_closes += 1
+                    return True
+        if self.abandon_stragglers and self.scheduler.suspended:
+            now = max(p.clock for p in self.machine.procs)
+            stats = self.machine.fault_stats
+            for key, process in sorted(
+                self.scheduler.suspended.items(),
+                key=lambda item: (item[1].proc, item[1].seq),
+            ):
+                del self.scheduler.suspended[key]
+                process.state = _DONE
+                self.scheduler.live -= 1
+                stats.processes_abandoned += 1
+                self.machine.trace.record(
+                    now, process.proc, "fault",
+                    f"straggler:{process.goal.functor}",
+                )
             return True
         return False
 

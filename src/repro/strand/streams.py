@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.strand.terms import Cons, NIL, Term, Var, deref
+from repro.strand.terms import Cons, Term, Var, deref
 
 __all__ = ["PortRef", "collect_stream", "stream_items"]
 

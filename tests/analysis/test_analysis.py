@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis import (
-    LoadStats,
     ProgramSize,
     Table,
     diff_generated,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.motif import AppliedMotif, ComposedMotif, Motif
+from repro.core.motif import ComposedMotif, Motif
 from repro.errors import MotifError
 from repro.strand.foreign import ForeignRegistry
 from repro.strand.parser import parse_program

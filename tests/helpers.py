@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.machine import Machine
-from repro.strand import Program, parse_program, run_query
+from repro.strand import parse_program, run_query
 from repro.strand.engine import QueryResult
 
 FIGURE1_SOURCE = """

@@ -10,12 +10,11 @@ from repro.apps.graphs import (
     reference_distances,
     run_sssp,
 )
-from repro.core.api import run_applied
 from repro.errors import MotifError
 from repro.machine import Machine
 from repro.motifs.bounded import bounded_motif
 from repro.motifs.graph import sssp_goals
-from repro.strand.foreign import from_python, to_python
+from repro.strand.foreign import to_python
 from repro.strand.program import Program
 from repro.strand.terms import Struct, Var
 

@@ -4,7 +4,7 @@ from repro.core.api import run_applied
 from repro.machine import Machine
 from repro.motifs.monitor import monitor_motif
 from repro.strand.parser import parse_program
-from repro.strand.program import Program
+
 from repro.strand.terms import Atom, Struct, Var, deref
 
 

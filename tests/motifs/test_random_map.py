@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.motif import Motif
+
 from repro.errors import TransformError
 from repro.motifs.random_map import RandTransformation, rand_motif, random_motif
 from repro.motifs.tree_reduce1 import tree1_motif

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.api import run_applied
-from repro.errors import MotifError
 from repro.machine import Machine
 from repro.motifs.server import (
     MERGE_LIBRARY,
@@ -12,7 +11,7 @@ from repro.motifs.server import (
     server_transformation,
 )
 from repro.strand.parser import parse_program
-from repro.strand.terms import Struct, Var, deref
+from repro.strand.terms import Struct, deref
 from repro.transform.rewrite import goal_indicator
 
 # A user server that echoes stamped messages back onto a collector variable

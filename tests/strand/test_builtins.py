@@ -3,8 +3,7 @@
 import pytest
 
 from repro.errors import StrandError
-from repro.strand import parse_program, run_query
-from repro.strand.terms import Atom, Tup, deref, iter_list, term_eq
+from repro.strand.terms import Atom, deref, iter_list, term_eq
 from tests.helpers import run
 
 

@@ -6,7 +6,6 @@ identical to the seed engine's linear scan — same committed rule (the first
 arbitrary programs and goals.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -7,7 +7,7 @@ from repro.errors import DeadlockError, DoubleAssignmentError, StrandError
 from repro.machine import Machine
 from repro.strand import parse_program, run_query
 from repro.strand.engine import StrandEngine
-from repro.strand.terms import Atom, Struct, Var, deref
+from repro.strand.terms import Atom, deref
 
 
 class TestQuiescence:

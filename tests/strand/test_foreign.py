@@ -6,7 +6,7 @@ from repro.errors import ForeignProcedureError
 from repro.machine import Machine
 from repro.strand import parse_program, run_query
 from repro.strand.foreign import ForeignRegistry, from_python, to_python
-from repro.strand.parser import parse_term
+
 from repro.strand.terms import Atom, Cons, NIL, Struct, Tup, Var, deref, make_list
 
 

@@ -1,6 +1,6 @@
 """Linter tests."""
 
-from repro.strand.lint import LintWarning, lint_program
+from repro.strand.lint import lint_program
 from repro.strand.parser import parse_program
 
 

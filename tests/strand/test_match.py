@@ -2,7 +2,7 @@
 
 from repro.strand.match import MatchResult, eval_guards, instantiate, match_head
 from repro.strand.parser import parse_rule, parse_term
-from repro.strand.terms import Atom, Struct, Var, deref, term_eq
+from repro.strand.terms import Atom, Struct, Var, deref
 
 
 def match(head_src: str, goal_src: str) -> MatchResult:

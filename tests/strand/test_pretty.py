@@ -7,7 +7,7 @@ from hypothesis import given, settings, strategies as st
 from repro.strand.parser import parse_program, parse_rule, parse_term
 from repro.strand.pretty import format_program, format_rule, format_term
 from repro.strand.program import Rule
-from repro.strand.terms import Atom, Cons, NIL, Struct, Term, Tup, Var, deref, term_eq
+from repro.strand.terms import Atom, Cons, NIL, Struct, Term, Tup, Var, term_eq
 
 
 class TestFormatTerm:

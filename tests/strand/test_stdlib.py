@@ -1,13 +1,12 @@
 """Tests for the Strand standard library."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.machine import Machine
 from repro.strand import run_query
 from repro.strand.foreign import from_python, to_python
 from repro.strand.stdlib import stdlib
-from repro.strand.terms import Atom, deref
+from repro.strand.terms import Atom
 
 
 def call(query: str, **bindings):
@@ -21,7 +20,6 @@ def run1(goal_template: str, *py_args):
     """Build e.g. run1('append_list({0}, {1}, Out)', [1,2], [3])."""
     from repro.strand.engine import StrandEngine
     from repro.strand.parser import parse_query
-    from repro.strand.terms import Struct
 
     args = [from_python(a) for a in py_args]
     goals, varmap = parse_query(goal_template)

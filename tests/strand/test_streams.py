@@ -1,7 +1,7 @@
 """Stream helper tests."""
 
 from repro.strand.streams import PortRef, collect_stream, stream_items
-from repro.strand.terms import Atom, Cons, NIL, Var, deref
+from repro.strand.terms import Atom, Cons, NIL, Var
 
 
 class TestStreamItems:

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import TransformError
 from repro.strand.parser import parse_program, parse_term
 from repro.strand.pretty import format_program
-from repro.strand.program import Program
+
 from repro.strand.terms import Atom, Struct, Var
 from repro.transform import (
     CallGraph,

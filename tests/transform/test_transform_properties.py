@@ -1,7 +1,6 @@
 """Property-based tests over the transformation engine: random programs in,
 structural invariants out."""
 
-import string
 
 from hypothesis import given, settings, strategies as st
 
