@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
-__all__ = ["Table", "format_value", "banner"]
+__all__ = ["Table", "format_value", "banner", "metrics_table"]
 
 
 def format_value(value: Any) -> str:
@@ -71,3 +71,27 @@ def banner(text: str) -> None:
     print("#" * 72)
     print(f"# {text}")
     print("#" * 72)
+
+
+def metrics_table(metrics: Any, title: str = "machine metrics") -> Table:
+    """Render a :class:`~repro.machine.metrics.MachineMetrics` snapshot —
+    headline figures plus *every* fault/reliability/trace counter from
+    ``metrics.counters()`` — as one table, so no counter is visible only in
+    a benchmark's ad-hoc JSON."""
+    table = Table(title, ["metric", "value"])
+    table.add("processors", metrics.processors)
+    table.add("makespan", metrics.makespan)
+    table.add("total_busy", metrics.total_busy)
+    table.add("efficiency", metrics.efficiency)
+    table.add("imbalance", metrics.imbalance)
+    table.add("reductions", metrics.reductions)
+    table.add("suspensions", metrics.suspensions)
+    table.add("messages", metrics.messages)
+    for name, value in metrics.counters().items():
+        table.add(name, value)
+    if metrics.trace_dropped:
+        table.note(
+            f"trace truncated: {metrics.trace_dropped} event(s) dropped — "
+            "trace-derived figures are lower bounds"
+        )
+    return table

@@ -200,6 +200,7 @@ def reduce_tree(
     eval_cost: float | Callable[..., float] = 1.0,
     watch_eval: bool = True,
     max_reductions: int = 5_000_000,
+    **engine_options: Any,
 ) -> RunResult:
     """Reduce a binary tree with a chosen motif strategy.
 
@@ -263,7 +264,8 @@ def reduce_tree(
         applied.user_names.add("eval")
 
     engine, metrics = run_applied(
-        applied, goal, machine, watched=watched, max_reductions=max_reductions
+        applied, goal, machine, watched=watched,
+        max_reductions=max_reductions, **engine_options,
     )
     value = deref(value_var)
     if type(value) is Var:
@@ -292,6 +294,7 @@ def reliable_reduce_tree(
     server_library: str = "ports",
     eval_cost: float | Callable[..., float] = 1.0,
     max_reductions: int = 5_000_000,
+    **engine_options: Any,
 ) -> RunResult:
     """Reduce a binary tree under the Reliable delivery stack
     (``Server ∘ Reliable ∘ Rand ∘ Tree1``), optionally with the Supervise
@@ -333,6 +336,7 @@ def reliable_reduce_tree(
         applied, goal, machine, watched=[("eval", 4)],
         max_reductions=max_reductions,
         abandon_stragglers=supervise,
+        **engine_options,
     )
     value = deref(value_var)
     if type(value) is Var:
@@ -359,6 +363,7 @@ def supervised_reduce_tree(
     server_library: str = "ports",
     eval_cost: float | Callable[..., float] = 1.0,
     max_reductions: int = 5_000_000,
+    **engine_options: Any,
 ) -> RunResult:
     """Reduce a binary tree under the Supervise motif stack
     (``Server ∘ Rand ∘ Supervise ∘ Tree1′``) — fault-tolerant Tree-Reduce-1.
@@ -391,6 +396,7 @@ def supervised_reduce_tree(
     engine, metrics = run_applied(
         applied, goal, machine, watched=[("eval", 4)],
         max_reductions=max_reductions,
+        **engine_options,
     )
     value = deref(value_var)
     if type(value) is Var:

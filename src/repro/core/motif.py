@@ -40,7 +40,7 @@ from typing import Callable, Iterable, Sequence
 from repro.errors import MotifError
 from repro.strand.foreign import ForeignRegistry
 from repro.strand.parser import parse_program
-from repro.strand.program import Program
+from repro.strand.program import Program, rule_key
 from repro.transform.transformation import Identity, Transformation
 
 __all__ = [
@@ -158,6 +158,12 @@ class Motif:
         elif isinstance(library, str):
             library = library_from_source(library, name=f"{name}-library")
         self.library = library
+        # Provenance: library rules belong to this motif layer.  Stamping is
+        # idempotent (``motif`` survives copies), so re-stamping a cached
+        # shared library program is safe.
+        for rule in library.rules():
+            if rule.motif is None:
+                rule.motif = name
         self.services = set(services)
         self.foreign_setup = foreign_setup
         # Application memo: (id(input), program version) -> canonical
@@ -204,6 +210,15 @@ class Motif:
         else:
             applied = application
         transformed = self.transformation.apply(applied.program)
+        if type(self.transformation) is not Identity:
+            # Provenance: any output rule that is not (structurally) one of
+            # the input rules was rewritten or generated by this motif's
+            # transformation — stamp it.  Rules the transformation passed
+            # through keep their existing tag (``rename`` preserves it).
+            before = {rule_key(r) for r in applied.program.rules()}
+            for rule in transformed.rules():
+                if rule.motif is None and rule_key(rule) not in before:
+                    rule.motif = self.name
         try:
             program = transformed.union(self.library, name=f"{self.name}({applied.program.name})")
         except MotifError as e:

@@ -19,7 +19,15 @@ from repro.machine.topology import (
     topology_by_name,
 )
 from repro.machine.gantt import render_gantt
+from repro.machine.profile import MotifProfile
 from repro.machine.trace import Trace, TraceEvent
+from repro.machine.tracefile import (
+    TraceSink,
+    read_jsonl,
+    to_chrome,
+    write_chrome,
+    write_jsonl,
+)
 
 __all__ = [
     "Machine",
@@ -41,6 +49,12 @@ __all__ = [
     "Trace",
     "render_gantt",
     "TraceEvent",
+    "TraceSink",
+    "MotifProfile",
+    "write_jsonl",
+    "read_jsonl",
+    "to_chrome",
+    "write_chrome",
     "imbalance",
     "jain_fairness",
     "coefficient_of_variation",

@@ -48,4 +48,9 @@ def render_gantt(trace: Trace, processors: int, makespan: float,
         body = "".join(glyphs[level] for level in row)
         lines.append(f"p{p:<3d} {body}")
     lines.append(f"     {_BUSY}=reduction  {_SEND}=message only  {_IDLE}=idle")
+    if trace.truncated:
+        lines.append(
+            f"     WARNING: trace truncated ({trace.dropped} events dropped) "
+            "— the schedule above is incomplete"
+        )
     return "\n".join(lines)

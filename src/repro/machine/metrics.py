@@ -184,6 +184,29 @@ class MachineMetrics:
             + self.rel_duplicates_suppressed + self.rel_unreachable
         )
 
+    def counters(self) -> dict[str, int]:
+        """Every fault/reliability/trace counter as one flat dict — the
+        uniform export surface for bench JSON and reporting tables, so no
+        counter exists only in one harness's ad-hoc output."""
+        return {
+            "crashes": self.crashes,
+            "messages_dropped": self.messages_dropped,
+            "messages_delayed": self.messages_delayed,
+            "messages_duplicated": self.messages_duplicated,
+            "partition_dropped": self.partition_dropped,
+            "processes_abandoned": self.processes_abandoned,
+            "processes_migrated": self.processes_migrated,
+            "orphaned_suspensions": self.orphaned_suspensions,
+            "sup_timeouts": self.sup_timeouts,
+            "sup_retries": self.sup_retries,
+            "sup_degraded": self.sup_degraded,
+            "rel_retransmits": self.rel_retransmits,
+            "rel_acks": self.rel_acks,
+            "rel_duplicates_suppressed": self.rel_duplicates_suppressed,
+            "rel_unreachable": self.rel_unreachable,
+            "trace_dropped": self.trace_dropped,
+        }
+
     def summary(self) -> str:
         text = (
             f"P={self.processors} makespan={self.makespan:.1f} "
@@ -198,7 +221,9 @@ class MachineMetrics:
                 f"delayed={self.messages_delayed}, duplicated={self.messages_duplicated}, "
                 f"partition_dropped={self.partition_dropped}, "
                 f"abandoned={self.processes_abandoned}, "
-                f"orphans={self.orphaned_suspensions}, retries={self.sup_retries}, "
+                f"migrated={self.processes_migrated}, "
+                f"orphans={self.orphaned_suspensions}, "
+                f"timeouts={self.sup_timeouts}, retries={self.sup_retries}, "
                 f"degraded={self.sup_degraded})"
             )
         if self.reliability_events:
@@ -208,5 +233,5 @@ class MachineMetrics:
                 f"unreachable={self.rel_unreachable})"
             )
         if self.trace_dropped:
-            text += f" trace_dropped={self.trace_dropped}"
+            text += f" trace_dropped={self.trace_dropped} (trace truncated)"
         return text

@@ -248,7 +248,7 @@ def _merge(engine, process, args, now):
         engine.bind(out, Cons(xs.head, rest), process.proc, now)
         engine.spawn(
             Struct("merge", (ys, xs.tail, rest)), process.proc,
-            ready=now + 1.0, lib=process.lib,
+            ready=now + 1.0, lib=process.lib, motif=process.motif,
         )
         return 1.0
     if type(ys) is Cons:
@@ -256,7 +256,7 @@ def _merge(engine, process, args, now):
         engine.bind(out, Cons(ys.head, rest), process.proc, now)
         engine.spawn(
             Struct("merge", (ys.tail, xs, rest)), process.proc,
-            ready=now + 1.0, lib=process.lib,
+            ready=now + 1.0, lib=process.lib, motif=process.motif,
         )
         return 1.0
     if xs is NIL:
@@ -280,7 +280,7 @@ def _call(engine, process, args, now):
     if type(goal) not in (Struct, Atom):
         raise StrandError(f"call/1 needs a goal, got {goal!r}")
     engine.spawn(goal, process.proc, ready=now + 1.0, lib=process.lib)
-    return 1.0
+    return 1.0  # provenance of the called goal is looked up, not inherited
 
 
 @_builtin("after", 2)
@@ -297,16 +297,26 @@ def _after(engine, process, args, now):
         raise StrandError(f"after/2: delay must be a non-negative number, got {delay!r}")
     probe = args[1]
     proc = process.proc
+    # Causal context at arm time: the timeout (if it fires) links back to
+    # the reduction that armed it, not to whatever happens to be executing
+    # when the timer pops.
+    trace = engine.machine.trace
+    armed = trace.cause if trace.enabled else 0
 
-    def fire(fire_now: float, probe=probe, proc=proc):
+    def fire(fire_now: float, probe=probe, proc=proc, armed=armed):
         # A timer armed by a processor that has since crashed must not
         # fire: fail-stop means the processor executes nothing further,
         # including its pending timeouts.
         if not engine.machine.procs[proc - 1].alive:
             return
-        if engine.bind_if_unbound(probe, Atom("timeout"), proc, fire_now):
-            engine.machine.fault_stats.sup_timeouts += 1
-            engine.machine.trace.record(fire_now, proc, "timeout", "after/2")
+        if type(deref(probe)) is not Var:
+            return  # something already resolved the probe — no-op timer
+        teid = engine.machine.trace.record(
+            fire_now, proc, "timeout", "after/2", cause=armed
+        )
+        engine.bind(probe, Atom("timeout"), proc, fire_now,
+                    cause=teid or None)
+        engine.machine.fault_stats.sup_timeouts += 1
 
     engine.scheduler.add_timer(now + delay, fire)
     return 1.0

@@ -585,7 +585,7 @@ class CompiledProgram:
     """A program lowered for execution: interned symbol table plus one
     :class:`CompiledProcedure` per procedure."""
 
-    __slots__ = ("program", "symbols", "procedures", "indexed")
+    __slots__ = ("program", "symbols", "procedures", "indexed", "motif_of")
 
     def __init__(self, program: Program, *, index: bool = True):
         COMPILE_STATS["programs"] += 1
@@ -593,10 +593,18 @@ class CompiledProgram:
         self.indexed = index
         self.symbols = symbol_table(program)
         self.procedures: dict[tuple[str, int], CompiledProcedure] = {}
+        # Provenance view: indicator -> motif tag of its first rule
+        # (``None`` for user-written procedures).  Per-rule tags stay on
+        # ``CompiledRule.rule.motif``; this map answers the common "which
+        # layer owns this procedure?" query without touching rules.
+        self.motif_of: dict[tuple[str, int], str | None] = {}
         for indicator in self.symbols.indicators:
             proc = program.procedure(*indicator)
             if proc is not None:
                 self.procedures[indicator] = CompiledProcedure(proc, index=index)
+                self.motif_of[indicator] = (
+                    proc.rules[0].motif if proc.rules else None
+                )
 
     def procedure(self, indicator: tuple[str, int]) -> CompiledProcedure | None:
         return self.procedures.get(indicator)

@@ -129,6 +129,11 @@ class StrandEngine:
         When False, rule selection falls back to a linear scan over the
         compiled rules (the benchmark ablation switch); semantics are
         identical either way.
+    profile:
+        Optional :class:`~repro.machine.profile.MotifProfile` — when set,
+        every reduction, suspension, and explicit message is attributed to
+        the ``(motif, predicate)`` pair that caused it.  ``None`` (the
+        default) keeps the hot path at a single ``is not None`` check.
     abandon_stragglers:
         When True, processes still suspended once the computation is
         otherwise quiescent (no runnable work, no pending timers, ports
@@ -155,6 +160,7 @@ class StrandEngine:
         reduction_cost: float = 1.0,
         indexing: bool = True,
         abandon_stragglers: bool = False,
+        profile=None,
     ):
         self.program = program
         self.machine = machine or Machine(1)
@@ -166,6 +172,7 @@ class StrandEngine:
         self.auto_close_ports = auto_close_ports
         self.reduction_cost = reduction_cost
         self.abandon_stragglers = abandon_stragglers
+        self.profile = profile
 
         self.compiled: CompiledProgram = compile_program(program, index=indexing)
         self.scheduler = Scheduler(self.machine, max_reductions)
@@ -193,8 +200,14 @@ class StrandEngine:
     # Spawning
     # ------------------------------------------------------------------
     def spawn(self, goal: Term, proc: int = 1, ready: float = 0.0,
-              lib: bool | None = None) -> Process:
-        """Add a process to the pool on processor ``proc`` (1-based)."""
+              lib: bool | None = None, cause: int | None = None,
+              motif: str | None = None) -> Process:
+        """Add a process to the pool on processor ``proc`` (1-based).
+
+        ``cause`` is the trace event id the spawn links back to (``None`` =
+        current causal context); ``motif`` overrides provenance lookup (the
+        reducer passes the spawning rule's tag for builtin continuations).
+        """
         goal = deref(goal)
         if type(goal) is Atom:
             goal = Struct(goal.name, ())
@@ -212,7 +225,18 @@ class StrandEngine:
             vp.task_spawned()
         scheduler.live += 1
         scheduler.push(process)
-        self.machine.trace.record(ready, proc, "spawn", goal.functor)
+        trace = self.machine.trace
+        if trace.enabled or self.profile is not None:
+            if motif is None:
+                motif = self.compiled.motif_of.get(indicator)
+            process.motif = motif
+            eid = trace.record(ready, proc, "spawn", goal.functor,
+                               cause=cause, motif=motif or "")
+            # The spawn becomes the child's causal context; if it was
+            # dropped (trace full), fall back so chains skip the hole.
+            process.cause_evt = eid if eid else (
+                trace.cause if cause is None else cause
+            )
         return process
 
     def spawn_remote(self, goal: Term, src: int, dst: int, now: float,
@@ -224,6 +248,7 @@ class StrandEngine:
         fate's inflated latency is used).  The send is accounted either
         way: the message left the source."""
         latency = 0.0
+        cause: int | None = None
         if src != dst:
             fate, latency = self.machine.message_fate(
                 src, dst, now, duplicable=False
@@ -231,24 +256,34 @@ class StrandEngine:
             vp = self.machine.procs[src - 1]
             vp.sends += 1
             vp.hops += self.machine.hops(src, dst)
+            if self.profile is not None:
+                self.profile.message()
             if self.machine.trace.enabled:
-                self.machine.trace.record(
+                seid = self.machine.trace.record(
                     now, src, "send", f"spawn:{_msg_tag(goal)}->{dst}"
                 )
+                cause = seid or None
             if fate == "drop":
                 return None
         indicator_lib = None
         goal_d = deref(goal)
         if type(goal_d) is Struct and goal_d.indicator in BUILTINS:
             indicator_lib = lib
-        return self.spawn(goal, dst, ready=now + latency, lib=indicator_lib)
+        return self.spawn(goal, dst, ready=now + latency, lib=indicator_lib,
+                          cause=cause)
 
     # ------------------------------------------------------------------
     # Binding
     # ------------------------------------------------------------------
-    def bind(self, target: Term, value: Term, proc: int, now: float) -> None:
+    def bind(self, target: Term, value: Term, proc: int, now: float,
+             cause: int | None = None) -> None:
         """Bind ``target`` (which must deref to an unbound variable, or to a
-        term structurally equal to ``value``) and wake its waiters."""
+        term structurally equal to ``value``) and wake its waiters.
+
+        ``cause`` is the trace event id that produced the binding (``None``
+        = current causal context; port delivery passes the send event);
+        woken waiters link to the bind event, completing the
+        send → bind → wake chain."""
         target = deref(target)
         if type(target) is not Var:
             if term_eq(target, value):
@@ -260,7 +295,9 @@ class StrandEngine:
         target.ref = value_d
         waiters = target.waiters
         target.waiters = None
-        self.machine.trace.record(now, proc, "bind", target.name)
+        trace = self.machine.trace
+        beid = (trace.record(now, proc, "bind", target.name, cause=cause)
+                if trace.enabled else 0)
         if type(value_d) is Var:
             # Aliasing two unbound variables: move waiters across.
             if waiters:
@@ -270,10 +307,10 @@ class StrandEngine:
                     value_d.waiters.extend(waiters)
             return
         if waiters:
-            self.scheduler.wake(waiters, proc, now)
+            self.scheduler.wake(waiters, proc, now, beid or None)
 
     def bind_if_unbound(self, target: Term, value: Term, proc: int,
-                        now: float) -> bool:
+                        now: float, cause: int | None = None) -> bool:
         """Bind only when ``target`` is still an unbound variable; return
         whether a binding happened.  This is the race-free primitive the
         supervision motif needs: a timeout and a late-completing attempt
@@ -283,7 +320,7 @@ class StrandEngine:
         target = deref(target)
         if type(target) is not Var:
             return False
-        self.bind(target, value, proc, now)
+        self.bind(target, value, proc, now, cause=cause)
         return True
 
     def double_assignment(self, target: Term, value: Term, process: Process | None):
@@ -305,15 +342,19 @@ class StrandEngine:
         if port.closed:
             raise StrandError(f"send on closed port {port!r}")
         deliver_at = now
+        cause: int | None = None
         if src != port.owner:
             fate, latency = self.machine.message_fate(src, port.owner, now)
             vp = self.machine.procs[src - 1]
             vp.sends += 1
             vp.hops += self.machine.hops(src, port.owner)
+            if self.profile is not None:
+                self.profile.message()
             if self.machine.trace.enabled:
-                self.machine.trace.record(
+                seid = self.machine.trace.record(
                     now, src, "send", f"port:{_msg_tag(msg)}->{port.owner}"
                 )
+                cause = seid or None
             if fate == "drop":
                 # Lost message: the stream tail does not advance, so the
                 # dropped element simply never appears — later sends splice
@@ -325,14 +366,15 @@ class StrandEngine:
                 # At-least-once artefact: the element is spliced into the
                 # stream twice, back to back.  Receivers without dedup see
                 # the message twice.
-                self._port_append(port, msg, src, deliver_at)
-        self._port_append(port, msg, src, deliver_at)
+                self._port_append(port, msg, src, deliver_at, cause)
+        self._port_append(port, msg, src, deliver_at, cause)
 
-    def _port_append(self, port: PortRef, msg: Term, src: int, at: float) -> None:
+    def _port_append(self, port: PortRef, msg: Term, src: int, at: float,
+                     cause: int | None = None) -> None:
         old_tail = port.tail
         new_tail = Var("PortTail")
         port.tail = new_tail
-        self.bind(old_tail, Cons(msg, new_tail), src, at)
+        self.bind(old_tail, Cons(msg, new_tail), src, at, cause=cause)
 
     def port_close(self, port: PortRef, src: int, now: float) -> None:
         if port.closed:
@@ -361,6 +403,7 @@ class StrandEngine:
         # same-seed runs in one process emit byte-identical traces (the
         # counter is otherwise process-global and would keep climbing).
         Var.reset_names()
+        self.machine.trace.cause = 0
         self._install_crash_timers()
         self.scheduler.run(self.reducer.execute, self._try_quiesce)
         return self.machine.metrics()

@@ -18,19 +18,66 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.errors import MotifError
-from repro.strand.terms import Struct, Term, rename_term
+from repro.strand.terms import Cons, Struct, Term, Tup, Var, deref, rename_term
 
-__all__ = ["Rule", "Procedure", "Program"]
+__all__ = ["Rule", "Procedure", "Program", "rule_key"]
+
+
+def _canon(term: Term, numbering: dict[int, int]) -> tuple:
+    """A hashable canonical form with variables numbered by first
+    occurrence, so two renamings of one rule produce equal keys."""
+    term = deref(term)
+    tt = type(term)
+    if tt is Var:
+        index = numbering.get(id(term))
+        if index is None:
+            index = len(numbering)
+            numbering[id(term)] = index
+        return ("v", index)
+    if tt is Struct:
+        return ("f", term.functor,
+                tuple(_canon(a, numbering) for a in term.args))
+    if tt is Tup:
+        return ("t", tuple(_canon(a, numbering) for a in term.args))
+    if tt is Cons:
+        return ("c", _canon(term.head, numbering), _canon(term.tail, numbering))
+    if hasattr(term, "name"):  # Atom
+        return ("a", term.name)
+    return ("k", type(term).__name__, term)
+
+
+def rule_key(rule: "Rule") -> tuple:
+    """Structural identity of a rule modulo variable naming.
+
+    Motif application compares output rules against input rules with this
+    key to decide which rules a transformation actually *rewrote* — those
+    get stamped with the transforming motif's name (see
+    :meth:`repro.core.motif.Motif._apply_impl`).
+    """
+    numbering: dict[int, int] = {}
+    return (
+        _canon(rule.head, numbering),
+        tuple(_canon(g, numbering) for g in rule.guards),
+        tuple(_canon(b, numbering) for b in rule.body),
+    )
 
 
 @dataclass
 class Rule:
     """One guarded rule.  ``guards`` may be empty (guard ``true``); ``body``
-    may be empty (a fact, e.g. ``consumer([]).``)."""
+    may be empty (a fact, e.g. ``consumer([]).``).
+
+    ``motif`` is the rule's provenance tag: the name of the motif layer
+    whose library or transformation produced it, or ``None`` for rules the
+    application programmer wrote.  Stamped during motif application (see
+    :mod:`repro.core.motif`) and carried through copies, it is what lets
+    traces and profiles attribute runtime cost back to a motif layer.
+    """
 
     head: Struct
     guards: list[Term] = field(default_factory=list)
     body: list[Term] = field(default_factory=list)
+    motif: str | None = None
 
     @property
     def indicator(self) -> tuple[str, int]:
@@ -38,12 +85,12 @@ class Rule:
 
     def rename(self) -> "Rule":
         """A copy of the rule with fresh variables (consistent across
-        head, guards and body)."""
+        head, guards and body); provenance is preserved."""
         mapping: dict = {}
         head = rename_term(self.head, mapping)
         guards = [rename_term(g, mapping) for g in self.guards]
         body = [rename_term(b, mapping) for b in self.body]
-        return Rule(head, guards, body)
+        return Rule(head, guards, body, motif=self.motif)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         from repro.strand.pretty import format_rule

@@ -53,11 +53,20 @@ class Reducer:
         """One reduction attempt.  Returns the cost, or ``None`` if the
         process suspended."""
         engine = self.engine
+        trace = engine.machine.trace
+        if trace.enabled:
+            # Causal context: events recorded during this reduction (spawns,
+            # binds, sends, the reduce itself) link to the event that made
+            # this process runnable.
+            trace.cause = process.cause_evt
         goal = deref(process.goal)
         if type(goal) is Atom:
             goal = Struct(goal.name, ())
             process.goal = goal
         indicator = goal.indicator
+        profile = engine.profile
+        if profile is not None:
+            profile.begin(process.motif, indicator)
         builtin = BUILTINS.get(indicator)
         try:
             if builtin is not None:
@@ -69,8 +78,12 @@ class Reducer:
                 else:
                     cost = self._reduce_user(process, goal, now)
         except Suspend as s:
+            if profile is not None:
+                profile.suspension()
             engine.scheduler.suspend(process, s.variables, now)
             return None
+        if profile is not None:
+            profile.reduction(cost)
         process.state = DONE
         engine.scheduler.live -= 1
         machine = engine.machine
@@ -81,7 +94,9 @@ class Reducer:
             machine.library_cost += cost
         else:
             machine.user_cost += cost
-        machine.trace.record(now, process.proc, "reduce", goal.functor)
+        if trace.enabled:
+            trace.record(now, process.proc, "reduce", goal.functor,
+                         motif=process.motif or "", dur=cost)
         return cost
 
     def _reduce_user(self, process: Process, goal: Struct, now: float) -> float:
@@ -100,6 +115,14 @@ class Reducer:
                 f"{goal.functor}/{len(goal.args)} and can never match"
             )
         crule, env = selected
+        rule_motif = crule.rule.motif
+        if rule_motif is not None and rule_motif != process.motif:
+            # Refine attribution to the committed rule's provenance tag (a
+            # process reduces exactly once, so overwriting is safe).
+            process.motif = rule_motif
+            profile = self.engine.profile
+            if profile is not None:
+                profile.begin(rule_motif, goal.indicator)
         # Commit: spawn the body.
         cost = self.reduction_cost
         fresh: dict[int, Var] = {}
@@ -118,12 +141,17 @@ class Reducer:
             )
         indicator = inst_d.indicator
         if indicator in BUILTINS:
+            # Builtins inherit the spawning rule's accounting and provenance.
             lib: bool | None = parent.lib
+            motif: str | None = parent.motif
         elif indicator in self.engine.library:
             lib = True
+            motif = None
         else:
             lib = False
-        self.engine.spawn(inst_d, parent.proc, ready=ready, lib=lib)
+            motif = None
+        self.engine.spawn(inst_d, parent.proc, ready=ready, lib=lib,
+                          motif=motif)
 
     def _call_foreign(self, fp, process: Process, goal: Struct, now: float) -> float:
         engine = self.engine

@@ -36,10 +36,16 @@ class Process:
     ``blocked_on`` holds the variables the process last suspended on (None
     while runnable) — deadlock reports read it to say *why* each stuck
     process is stuck.
+
+    ``cause_evt`` is the trace event id that made the process runnable (its
+    spawn, or the latest wake) — the causal context every event recorded
+    during its reduction links back to.  ``motif`` is the provenance tag of
+    the procedure the goal calls (``None`` for user code); both stay at
+    their defaults when observability is off.
     """
 
     __slots__ = ("goal", "proc", "ready", "state", "seq", "lib", "watched",
-                 "blocked_on")
+                 "blocked_on", "cause_evt", "motif")
 
     def __init__(self, goal: Struct, proc: int, ready: float, seq: int,
                  lib: bool, watched: bool):
@@ -51,6 +57,8 @@ class Process:
         self.lib = lib
         self.watched = watched
         self.blocked_on: list[Var] | None = None
+        self.cause_evt = 0
+        self.motif: str | None = None
 
     def describe(self) -> str:
         from repro.strand.pretty import format_term
@@ -160,11 +168,20 @@ class Scheduler:
             var.waiters.append(process)
         vp = self.machine.procs[process.proc - 1]
         vp.suspensions += 1
-        self.machine.trace.record(now, process.proc, "suspend", process.goal.functor)
+        trace = self.machine.trace
+        if trace.enabled:
+            trace.record(now, process.proc, "suspend",
+                         process.goal.functor,
+                         motif=process.motif or "")
 
-    def wake(self, waiters: list, binder_proc: int, now: float) -> None:
+    def wake(self, waiters: list, binder_proc: int, now: float,
+             cause: int | None = None) -> None:
+        """Wake suspended waiters.  ``cause`` is the trace event id of the
+        binding that released them (``None`` = current causal context); the
+        wake event becomes each process's new causal context."""
         machine = self.machine
         procs = machine.procs
+        trace = machine.trace
         for process in waiters:
             if process.state != SUSPENDED:
                 continue
@@ -181,7 +198,12 @@ class Scheduler:
             process.ready = now + latency
             procs[process.proc - 1].wakeups += 1
             self.push(process)
-            machine.trace.record(now, process.proc, "wake", process.goal.functor)
+            if trace.enabled:
+                eid = trace.record(now, process.proc, "wake",
+                                   process.goal.functor, cause=cause,
+                                   motif=process.motif or "")
+                if eid:
+                    process.cause_evt = eid
 
     # ------------------------------------------------------------------
     # The event loop
@@ -259,7 +281,10 @@ class Scheduler:
         vp.crashed_at = now
         stats = self.machine.fault_stats
         stats.crashes += 1
-        self.machine.trace.record(now, pnum, "crash", f"p{pnum}")
+        trace = self.machine.trace
+        # The crash is a causal root; everything it abandons, migrates, or
+        # orphans links back to it.
+        crash_evt = trace.record(now, pnum, "crash", f"p{pnum}", cause=0)
         # Drain the runnable queue deterministically (readiness, then seq).
         entries = sorted(self.queues[pnum - 1])
         self.queues[pnum - 1] = []
@@ -275,14 +300,21 @@ class Scheduler:
                     pnum, migrate_to
                 )
                 stats.processes_migrated += 1
-                self.machine.trace.record(
-                    now, pnum, "fault", f"migrate:{process.goal.functor}->p{migrate_to}"
+                eid = trace.record(
+                    now, pnum, "fault",
+                    f"migrate:{process.goal.functor}->p{migrate_to}",
+                    cause=crash_evt,
                 )
+                if eid:
+                    process.cause_evt = eid
                 self.push(process)
             else:
                 process.state = DONE
                 self.live -= 1
                 stats.processes_abandoned += 1
+                trace.record(now, pnum, "fault",
+                             f"abandon:{process.goal.functor}",
+                             cause=crash_evt)
         for key, process in list(self.suspended.items()):
             if process.proc == pnum:
                 del self.suspended[key]
@@ -290,6 +322,9 @@ class Scheduler:
                 self.live -= 1
                 self.orphans.append(process)
                 stats.orphaned_suspensions += 1
+                trace.record(now, pnum, "fault",
+                             f"orphan:{process.goal.functor}",
+                             cause=crash_evt)
 
     # ------------------------------------------------------------------
     # Deadlock reporting

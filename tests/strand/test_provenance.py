@@ -1,0 +1,101 @@
+"""Rule provenance: structural rule keys, motif stamping of library and
+transformation-produced rules, and the compiled ``motif_of`` map the
+engine uses to attribute spawned goals."""
+
+from repro.core.motif import Motif
+from repro.core.registry import get_motif
+from repro.strand.compile import compile_program
+from repro.strand.parser import parse_program
+from repro.strand.program import rule_key
+
+SOURCE = """
+go(N, V) :- work(N, V).
+work(N, V) :- N > 0 | V := N * 2.
+work(0, V) :- V := 0.
+"""
+
+ALPHA_RENAMED = """
+go(A, B) :- work(A, B).
+work(A, B) :- A > 0 | B := A * 2.
+work(0, Out) :- Out := 0.
+"""
+
+
+class TestRuleKey:
+    def test_alpha_renamed_rules_have_equal_keys(self):
+        rules_a = list(parse_program(SOURCE).rules())
+        rules_b = list(parse_program(ALPHA_RENAMED).rules())
+        for a, b in zip(rules_a, rules_b):
+            assert rule_key(a) == rule_key(b)
+
+    def test_structurally_different_rules_differ(self):
+        rules = list(parse_program(SOURCE).rules())
+        keys = {rule_key(r) for r in rules}
+        assert len(keys) == len(rules)
+
+    def test_rename_preserves_both_key_and_tag(self):
+        rule = next(iter(parse_program(SOURCE).rules()))
+        rule.motif = "m"
+        fresh = rule.rename()
+        assert rule_key(fresh) == rule_key(rule)
+        assert fresh.motif == "m"
+
+
+class TestLibraryStamping:
+    def test_library_rules_are_stamped_with_the_motif_name(self):
+        motif = Motif("mylib", library="helper(X, Y) :- Y := X + 1.")
+        assert all(r.motif == "mylib" for r in motif.library.rules())
+
+    def test_stamping_does_not_overwrite_an_existing_tag(self):
+        inner = Motif("inner", library="helper(X, Y) :- Y := X + 1.")
+        outer = Motif("outer", library=inner.library)
+        assert all(r.motif == "inner" for r in outer.library.rules())
+
+
+class TestTransformationStamping:
+    def test_untouched_user_rules_stay_untagged(self):
+        motif = get_motif("tree-reduce-1")
+        applied = motif.apply(parse_program(SOURCE))
+        user = [r for r in applied.program.rules()
+                if r.head.functor in ("go", "work")]
+        assert user and all(r.motif is None for r in user)
+
+    def test_server_transformation_stamps_rewritten_rules(self):
+        from repro.apps.arithmetic import EVAL_SOURCE
+        from repro.core.api import as_application
+        from repro.motifs.tree_reduce1 import tree_reduce_1
+
+        application, _ = as_application(EVAL_SOURCE)
+        applied = tree_reduce_1(termination=False).apply(application)
+        tags = {r.motif for r in applied.program.rules()}
+        # The outermost rewriter wins for rewritten rules; rules it passed
+        # through keep their prior tag (None = user).
+        assert "server[ports]" in tags
+        assert None in tags
+
+
+class TestCompiledMotifMap:
+    def test_motif_of_maps_indicators_to_first_rule_tags(self):
+        program = parse_program(SOURCE)
+        for rule in program.rules():
+            if rule.head.functor == "work":
+                rule.motif = "m"
+        compiled = compile_program(program)
+        assert compiled.motif_of[("work", 2)] == "m"
+        assert compiled.motif_of[("go", 2)] is None
+
+    def test_traced_run_attributes_library_reductions(self):
+        from repro.apps.arithmetic import eval_arith_node, paper_example_tree
+        from repro.core.api import reduce_tree
+        from repro.machine import Machine
+
+        machine = Machine(4, seed=0, trace=True)
+        reduce_tree(paper_example_tree(), eval_arith_node,
+                    machine=machine, strategy="tr1")
+        reduces = machine.trace.of_kind("reduce")
+        motifs = {e.motif for e in reduces}
+        assert "server[ports]" in motifs
+        assert "" in motifs  # user code reduces untagged
+        # server/2 reductions carry the server tag specifically.
+        servers = [e for e in reduces if e.detail == "server"]
+        assert servers and all(e.motif == "server[ports]" for e in servers)

@@ -136,6 +136,116 @@ class TestGantt:
         assert "p1" in text and "p2" in text
 
 
+class TestObservabilityFlags:
+    def test_profile_prints_cost_table(self, program_file, capsys):
+        code = main(["run", str(program_file), "go(5, Sum)", "-P", "2",
+                     "--profile"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "per-motif / per-predicate profile" in out
+        assert "user" in out
+        assert "accumulate/2" in out
+
+    def test_trace_out_writes_jsonl(self, program_file, tmp_path, capsys):
+        out_file = tmp_path / "run.jsonl"
+        code = main(["run", str(program_file), "go(4, Sum)", "-P", "4",
+                     "--trace-out", str(out_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out_file.exists()
+        assert "trace: wrote" in out
+        from repro.machine import read_jsonl
+
+        trace, meta = read_jsonl(out_file)
+        assert len(trace) > 0
+        assert meta["processors"] == 4
+        assert meta["query"] == "go(4, Sum)"
+
+    def test_trace_limit_warns_on_truncation(self, program_file, tmp_path,
+                                             capsys):
+        out_file = tmp_path / "run.jsonl"
+        code = main(["run", str(program_file), "go(8, Sum)", "-P", "2",
+                     "--trace-out", str(out_file), "--trace-limit", "10"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "trace truncated" in captured.err
+
+    def test_trace_ring_keeps_the_tail(self, program_file, tmp_path, capsys):
+        out_file = tmp_path / "run.jsonl"
+        code = main(["run", str(program_file), "go(8, Sum)", "-P", "2",
+                     "--trace-out", str(out_file), "--trace-limit", "10",
+                     "--trace-ring"])
+        assert code == 0
+        from repro.machine import read_jsonl
+
+        trace, _ = read_jsonl(out_file)
+        assert len(trace) == 10
+        assert trace.events[-1].eid > 10  # the tail, not the head
+
+
+class TestTraceCommand:
+    @pytest.fixture
+    def trace_file(self, program_file, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        main(["run", str(program_file), "go(4, Sum)", "-P", "4",
+              "--trace-out", str(path)])
+        capsys.readouterr()
+        return path
+
+    def test_summary(self, trace_file, capsys):
+        code = main(["trace", str(trace_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "events" in out
+        assert "by kind:" in out
+        assert "by motif:" in out
+        assert "reduce=" in out
+
+    def test_kind_filter_and_show(self, trace_file, capsys):
+        code = main(["trace", str(trace_file), "--kind", "reduce",
+                     "--show", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "matching kind=reduce" in out
+        assert out.count(" reduce ") >= 3
+
+    def test_chain(self, trace_file, capsys):
+        from repro.machine import read_jsonl
+
+        trace, _ = read_jsonl(trace_file)
+        last = trace.events[-1].eid
+        code = main(["trace", str(trace_file), "--chain", str(last)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "causal chain" in out
+        assert f"#{last} <-" in out
+
+    def test_chain_unknown_eid_fails(self, trace_file, capsys):
+        code = main(["trace", str(trace_file), "--chain", "999999"])
+        assert code == 1
+        assert "no event" in capsys.readouterr().err
+
+    def test_gantt_from_file(self, trace_file, capsys):
+        code = main(["trace", str(trace_file), "--gantt"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "█" in out
+
+    def test_chrome_conversion(self, trace_file, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "run.chrome.json"
+        code = main(["trace", str(trace_file), "--chrome", str(out_file)])
+        assert code == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["traceEvents"]
+
+    def test_missing_file(self, tmp_path, capsys):
+        code = main(["trace", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "cannot load" in capsys.readouterr().err
+
+
 class TestLintCommand:
     def test_clean_file(self, tmp_path, capsys):
         path = tmp_path / "clean.str"
