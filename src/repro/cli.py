@@ -56,6 +56,19 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=[None, "full", "ring", "mesh", "torus", "hypercube", "tree"],
                        help="interconnect (default: fully connected)")
     run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--backend", default="sequential",
+                       choices=["sequential", "parallel"],
+                       help="execution backend: in-process simulation "
+                            "(default) or processor shards across OS "
+                            "worker processes")
+    run_p.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker-process count for --backend parallel "
+                            "(default: min(processors, CPU count))")
+    run_p.add_argument("--epoch-window", type=float, default=None,
+                       metavar="T",
+                       help="conservative epoch width in virtual time for "
+                            "--backend parallel (default: run each epoch "
+                            "to local quiescence)")
     run_p.add_argument("--max-reductions", type=int, default=5_000_000)
     run_p.add_argument("--service", action="append", default=[],
                        metavar="NAME/ARITY",
@@ -139,7 +152,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     try:
         program = parse_program(source, name=args.source.stem)
         machine = Machine(args.processors, topology=args.topology,
-                          seed=args.seed, trace=tracing)
+                          seed=args.seed, trace=tracing,
+                          backend=args.backend,
+                          workers=args.workers,
+                          epoch_window=args.epoch_window)
         if tracing and (args.trace_limit is not None or args.trace_ring):
             limit = (args.trace_limit if args.trace_limit is not None
                      else 1_000_000)
@@ -153,7 +169,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             max_reductions=args.max_reductions,
             profile=profile,
         )
-    except (ReproError, StrandError) as e:
+    except (ReproError, StrandError, NotImplementedError) as e:
         print(f"error: {e}", file=sys.stderr)
         return 1
     for line in result.output:

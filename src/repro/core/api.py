@@ -195,6 +195,9 @@ def reduce_tree(
     machine: Machine | None = None,
     seed: int = 0,
     topology: str | None = None,
+    backend: str = "sequential",
+    workers: int | None = None,
+    epoch_window: float | None = None,
     server_library: str = "ports",
     termination: bool = True,
     eval_cost: float | Callable[..., float] = 1.0,
@@ -210,6 +213,13 @@ def reduce_tree(
     * ``"tr2"``        — Tree-Reduce-2 (Server ∘ TreeReduce, §3.5)
     * ``"static"``     — static partition (§3.1)
     * ``"sequential"`` — single-processor fold (baseline)
+
+    ``backend="parallel"`` shards the virtual processors across ``workers``
+    OS processes (see :mod:`repro.machine.parallel`); evaluators must then
+    be Strand source or a :class:`Program` — Python callables cannot be
+    shipped to worker processes.  ``backend``/``workers``/``epoch_window``
+    are ignored when an explicit ``machine`` is passed (configure it there
+    instead).
     """
     if strategy not in TREE_STRATEGIES:
         raise ReproError(f"unknown strategy {strategy!r}; choose from {TREE_STRATEGIES}")
@@ -218,6 +228,9 @@ def reduce_tree(
             1 if strategy == "sequential" else processors,
             topology=topology,
             seed=seed,
+            backend=backend,
+            workers=workers if backend == "parallel" else None,
+            epoch_window=epoch_window,
         )
     application, setup = as_application(evaluator, cost=eval_cost)
 

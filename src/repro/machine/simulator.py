@@ -46,6 +46,22 @@ class Machine:
         Optional :class:`~repro.machine.faults.FaultPlan`.  The crash
         schedule is resolved here, from the machine RNG, so it is fixed by
         the seed before the first reduction runs.
+    backend:
+        ``"sequential"`` (default) runs the whole simulation in-process;
+        ``"parallel"`` shards the virtual processors across OS worker
+        processes (see :mod:`repro.machine.parallel`), synchronized with a
+        BSP-style epoch protocol.  Fault injection is not implemented on
+        the parallel backend.
+    workers:
+        Worker-process count for ``backend="parallel"`` (default:
+        ``min(processors, os.cpu_count())``); ignored otherwise.
+    epoch_window:
+        Optional conservative time-window width for the parallel backend.
+        ``None`` (default) runs each epoch to local quiescence — exact for
+        confluent programs and far fewer barriers; a positive float bounds
+        every epoch to that much virtual time, which keeps cross-shard
+        message delivery causally ordered even for time-racy programs when
+        the window is at most the minimum cross-processor latency.
     """
 
     def __init__(
@@ -57,9 +73,35 @@ class Machine:
         per_hop_latency: float = 1.0,
         trace: bool = False,
         faults: FaultPlan | None = None,
+        backend: str = "sequential",
+        workers: int | None = None,
+        epoch_window: float | None = None,
     ):
         if processors < 1:
             raise MachineError(f"need at least one processor, got {processors}")
+        if backend not in ("sequential", "parallel"):
+            raise MachineError(
+                f"unknown backend {backend!r}; choose 'sequential' or 'parallel'"
+            )
+        if backend == "parallel" and faults is not None:
+            raise NotImplementedError(
+                "fault injection is not supported on the parallel backend"
+            )
+        if workers is not None and backend != "parallel":
+            raise MachineError("workers= only applies to backend='parallel'")
+        if workers is not None and workers < 1:
+            raise MachineError(f"need at least one worker, got {workers}")
+        if epoch_window is not None and epoch_window <= 0:
+            raise MachineError(f"epoch_window must be positive, got {epoch_window}")
+        self.backend = backend
+        if backend == "parallel":
+            import os
+
+            default_workers = min(processors, os.cpu_count() or 1)
+            self.workers = min(workers or default_workers, processors)
+        else:
+            self.workers = None
+        self.epoch_window = epoch_window
         if topology is None:
             topo = topology_by_name("full", processors)
         elif isinstance(topology, str):

@@ -173,6 +173,21 @@ class StrandEngine:
         self.reduction_cost = reduction_cost
         self.abandon_stragglers = abandon_stragglers
         self.profile = profile
+        # Shard context when this engine runs inside a parallel-backend
+        # worker (None in sequential operation and in the coordinating
+        # parent).  Engine options are kept so the parallel backend can
+        # reconstruct equivalent engines in worker processes.
+        self.shard = None
+        self._options = dict(
+            watched=tuple(sorted(self.watched)),
+            library=tuple(sorted(self.library)),
+            services=tuple(sorted(self.services)),
+            max_reductions=max_reductions,
+            auto_close_ports=auto_close_ports,
+            reduction_cost=reduction_cost,
+            indexing=indexing,
+            abandon_stragglers=abandon_stragglers,
+        )
 
         self.compiled: CompiledProgram = compile_program(program, index=indexing)
         self.scheduler = Scheduler(self.machine, max_reductions)
@@ -247,6 +262,9 @@ class StrandEngine:
         the task is simply lost, as on a real network) or delayed (the
         fate's inflated latency is used).  The send is accounted either
         way: the message left the source."""
+        shard = self.shard
+        if shard is not None and not shard.owns(dst):
+            return shard.remote_spawn(goal, src, dst, now, lib)
         latency = 0.0
         cause: int | None = None
         if src != dst:
@@ -293,6 +311,14 @@ class StrandEngine:
         if value_d is target:
             return  # X := X — trivially satisfied
         target.ref = value_d
+        shard = self.shard
+        if shard is not None and not shard.suppress:
+            vid = shard.var_vids.get(id(target))
+            if vid is not None:
+                # The variable is replicated on other shards (it crossed a
+                # shard boundary inside some message): broadcast the binding
+                # so every replica resolves at the next epoch barrier.
+                shard.queue_bind(vid, value_d, proc, now)
         waiters = target.waiters
         target.waiters = None
         trace = self.machine.trace
@@ -341,6 +367,15 @@ class StrandEngine:
     def port_send(self, port: PortRef, msg: Term, src: int, now: float) -> None:
         if port.closed:
             raise StrandError(f"send on closed port {port!r}")
+        shard = self.shard
+        if shard is not None:
+            gid = shard.port_gid(port)
+            if gid[0] != shard.id:
+                # Stub of a port owned by another shard: account the send
+                # here (the message left this shard) and let the owner
+                # splice it into the real stream at the epoch barrier.
+                shard.remote_port_send(gid, msg, src, port.owner, now)
+                return
         deliver_at = now
         cause: int | None = None
         if src != port.owner:
@@ -379,6 +414,13 @@ class StrandEngine:
     def port_close(self, port: PortRef, src: int, now: float) -> None:
         if port.closed:
             return
+        shard = self.shard
+        if shard is not None:
+            gid = shard.port_gid(port)
+            if gid[0] != shard.id:
+                port.closed = True
+                shard.remote_port_close(gid, src, now)
+                return
         port.closed = True
         self.bind(port.tail, NIL, src, now)
 
@@ -399,6 +441,10 @@ class StrandEngine:
         """Run until the pool drains.  Raises :class:`DeadlockError` if
         suspended processes remain that cannot be resolved by closing
         ports, and :class:`ProcessFailureError` on unmatched processes."""
+        if self.shard is None and self.machine.backend == "parallel":
+            from repro.machine.parallel import run_parallel
+
+            return run_parallel(self)
         # Display names for anonymous variables restart at _G1 each run, so
         # same-seed runs in one process emit byte-identical traces (the
         # counter is otherwise process-global and would keep climbing).

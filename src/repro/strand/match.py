@@ -28,6 +28,7 @@ from repro.strand.terms import (
     Term,
     Tup,
     Var,
+    copy_term,
     deref,
     term_eq,
 )
@@ -67,104 +68,117 @@ def match_head(head: Struct, goal: Struct) -> MatchResult:
 
 
 def _match(pattern: Term, arg: Term, env: dict[int, Term], blocked: list[Var]) -> bool:
-    """Returns False on definite mismatch; accumulates blocking vars."""
-    pattern = deref(pattern)
-    pt = type(pattern)
-    if pt is Var:
-        bound = env.get(id(pattern))
-        if bound is None:
-            env[id(pattern)] = arg
-            return True
-        # Non-linear head (same variable twice): both occurrences must match
-        # the same value.  Unbound caller variables block the decision unless
-        # they are identical.
-        return _match_values(bound, arg, blocked)
-    arg = deref(arg)
-    at = type(arg)
-    if at is Var:
-        blocked.append(arg)
-        return True  # cannot decide yet; not a definite mismatch
-    if pt is Atom:
-        return pattern is arg
-    if pt is int or pt is float:
-        return (at is int or at is float) and pattern == arg
-    if pt is str:
-        return at is str and pattern == arg
-    if pt is Cons:
-        if at is not Cons:
-            return False
-        return _match(pattern.head, arg.head, env, blocked) and _match(
-            pattern.tail, arg.tail, env, blocked
-        )
-    if pt is Tup:
-        if at is not Tup or len(pattern.args) != len(arg.args):
-            return False
-        return all(
-            _match(p, a, env, blocked) for p, a in zip(pattern.args, arg.args)
-        )
-    if pt is Struct:
-        if at is not Struct or pattern.functor != arg.functor or len(
-            pattern.args
-        ) != len(arg.args):
-            return False
-        return all(
-            _match(p, a, env, blocked) for p, a in zip(pattern.args, arg.args)
-        )
-    raise TypeError(f"bad pattern term {pattern!r}")
+    """Returns False on definite mismatch; accumulates blocking vars.
+
+    Iterative (explicit pair stack) so goals carrying deep lists cannot blow
+    the interpreter stack; children are pushed reversed to keep the original
+    left-to-right order of env bindings and blocked-variable accumulation.
+    """
+    stack = [(pattern, arg)]
+    while stack:
+        pattern, arg = stack.pop()
+        pattern = deref(pattern)
+        pt = type(pattern)
+        if pt is Var:
+            bound = env.get(id(pattern))
+            if bound is None:
+                env[id(pattern)] = arg
+                continue
+            # Non-linear head (same variable twice): both occurrences must
+            # match the same value.  Unbound caller variables block the
+            # decision unless they are identical.
+            if not _match_values(bound, arg, blocked):
+                return False
+            continue
+        arg = deref(arg)
+        at = type(arg)
+        if at is Var:
+            blocked.append(arg)
+            continue  # cannot decide yet; not a definite mismatch
+        if pt is Atom:
+            if pattern is not arg:
+                return False
+        elif pt is int or pt is float:
+            if not ((at is int or at is float) and pattern == arg):
+                return False
+        elif pt is str:
+            if not (at is str and pattern == arg):
+                return False
+        elif pt is Cons:
+            if at is not Cons:
+                return False
+            stack.append((pattern.tail, arg.tail))
+            stack.append((pattern.head, arg.head))
+        elif pt is Tup:
+            if at is not Tup or len(pattern.args) != len(arg.args):
+                return False
+            stack.extend(zip(reversed(pattern.args), reversed(arg.args)))
+        elif pt is Struct:
+            if at is not Struct or pattern.functor != arg.functor or len(
+                pattern.args
+            ) != len(arg.args):
+                return False
+            stack.extend(zip(reversed(pattern.args), reversed(arg.args)))
+        else:
+            raise TypeError(f"bad pattern term {pattern!r}")
+    return True
 
 
 def _match_values(a: Term, b: Term, blocked: list[Var]) -> bool:
     """Compare two caller-side terms for the non-linear-head case; unbound
-    variables block unless identical."""
-    a, b = deref(a), deref(b)
-    if a is b:
-        return True
-    if type(a) is Var:
-        blocked.append(a)
-        return True
-    if type(b) is Var:
-        blocked.append(b)
-        return True
-    ta, tb = type(a), type(b)
-    if ta is Cons and tb is Cons:
-        return _match_values(a.head, b.head, blocked) and _match_values(
-            a.tail, b.tail, blocked
-        )
-    if ta is Struct and tb is Struct:
-        if a.functor != b.functor or len(a.args) != len(b.args):
+    variables block unless identical.  Iterative for deep-list safety."""
+    stack = [(a, b)]
+    while stack:
+        a, b = stack.pop()
+        a, b = deref(a), deref(b)
+        if a is b:
+            continue
+        ta, tb = type(a), type(b)
+        if ta is Var:
+            blocked.append(a)
+            continue
+        if tb is Var:
+            blocked.append(b)
+            continue
+        if ta is Cons and tb is Cons:
+            stack.append((a.tail, b.tail))
+            stack.append((a.head, b.head))
+        elif ta is Struct and tb is Struct:
+            if a.functor != b.functor or len(a.args) != len(b.args):
+                return False
+            stack.extend(zip(reversed(a.args), reversed(b.args)))
+        elif ta is Tup and tb is Tup:
+            if len(a.args) != len(b.args):
+                return False
+            stack.extend(zip(reversed(a.args), reversed(b.args)))
+        elif isinstance(a, (int, float)) and isinstance(b, (int, float)):
+            if a != b:
+                return False
+        elif not (a == b if ta is tb else False):
             return False
-        return all(_match_values(x, y, blocked) for x, y in zip(a.args, b.args))
-    if ta is Tup and tb is Tup:
-        if len(a.args) != len(b.args):
-            return False
-        return all(_match_values(x, y, blocked) for x, y in zip(a.args, b.args))
-    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
-        return a == b
-    return a is b or a == b if ta is tb else False
+    return True
 
 
 def instantiate(term: Term, env: dict[int, Term], fresh: dict[int, Var]) -> Term:
     """Build a body/guard goal instance: rule variables become their matched
-    values, unmatched rule variables become fresh shared variables."""
-    term = deref(term)
-    t = type(term)
-    if t is Var:
-        bound = env.get(id(term))
+    values, unmatched rule variables become fresh shared variables.
+
+    Copying is delegated to the iterative :func:`repro.strand.terms.copy_term`
+    so reductions over 100k-element lists cannot raise ``RecursionError``.
+    """
+
+    def image(var: Var) -> Term:
+        bound = env.get(id(var))
         if bound is not None:
             return bound
-        var = fresh.get(id(term))
-        if var is None:
-            var = Var(term.name)
-            fresh[id(term)] = var
-            env[id(term)] = var
-        return var
-    if t is Struct:
-        return Struct(term.functor, [instantiate(a, env, fresh) for a in term.args])
-    if t is Tup:
-        return Tup([instantiate(a, env, fresh) for a in term.args])
-    if t is Cons:
-        return Cons(instantiate(term.head, env, fresh), instantiate(term.tail, env, fresh))
-    return term
+        new = fresh.get(id(var))
+        if new is None:
+            new = Var(var.name)
+            fresh[id(var)] = new
+            env[id(var)] = new
+        return new
+
+    return copy_term(term, image)
 
 
 # --------------------------------------------------------------------------
@@ -286,51 +300,47 @@ def _eval_guard(goal: Term, blocked: list[Var]) -> bool:
 
 def _ground_equal(a: Term, b: Term, blocked: list[Var]) -> tuple[bool, bool]:
     """(decided?, equal?) for structural equality; suspends on unbound
-    variables unless identity already decides."""
-    a, b = deref(a), deref(b)
-    if a is b:
-        return True, True
-    if type(a) is Var:
-        blocked.append(a)
-        return False, False
-    if type(b) is Var:
-        blocked.append(b)
-        return False, False
-    # Both bound: structural comparison on the spot.  Nested unbound vars
-    # inside structures make the comparison undecided only if the decided
-    # parts are equal so far; term_eq treats distinct unbound vars as
-    # unequal, so do a cautious recursive walk instead.
-    ta, tb = type(a), type(b)
-    if ta is Struct and tb is Struct:
-        if a.functor != b.functor or len(a.args) != len(b.args):
-            return True, False
-        for x, y in zip(a.args, b.args):
-            decided, equal = _ground_equal(x, y, blocked)
-            if not decided:
-                return False, False
-            if not equal:
+    variables unless identity already decides.
+
+    Nested unbound vars inside structures make the comparison undecided only
+    if the decided parts are equal so far; term_eq treats distinct unbound
+    vars as unequal, so do a cautious walk instead — iterative (left-to-right
+    DFS over a pair stack) so deep lists cannot blow the interpreter stack.
+    The first pair that is not definitely-equal settles the verdict, matching
+    the short-circuit order of the old recursion.
+    """
+    stack = [(a, b)]
+    while stack:
+        a, b = stack.pop()
+        a, b = deref(a), deref(b)
+        if a is b:
+            continue
+        if type(a) is Var:
+            blocked.append(a)
+            return False, False
+        if type(b) is Var:
+            blocked.append(b)
+            return False, False
+        ta, tb = type(a), type(b)
+        if ta is Struct and tb is Struct:
+            if a.functor != b.functor or len(a.args) != len(b.args):
                 return True, False
-        return True, True
-    if ta is Cons and tb is Cons:
-        decided, equal = _ground_equal(a.head, b.head, blocked)
-        if not decided or not equal:
-            return decided, equal
-        return _ground_equal(a.tail, b.tail, blocked)
-    if ta is Tup and tb is Tup:
-        if len(a.args) != len(b.args):
-            return True, False
-        for x, y in zip(a.args, b.args):
-            decided, equal = _ground_equal(x, y, blocked)
-            if not decided:
-                return False, False
-            if not equal:
+            stack.extend(zip(reversed(a.args), reversed(b.args)))
+        elif ta is Cons and tb is Cons:
+            stack.append((a.tail, b.tail))
+            stack.append((a.head, b.head))
+        elif ta is Tup and tb is Tup:
+            if len(a.args) != len(b.args):
                 return True, False
-        return True, True
-    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
-        return True, a == b
-    if ta is not tb:
-        return True, False
-    return True, a == b
+            stack.extend(zip(reversed(a.args), reversed(b.args)))
+        elif isinstance(a, (int, float)) and isinstance(b, (int, float)):
+            if a != b:
+                return True, False
+        elif ta is not tb:
+            return True, False
+        elif a != b:
+            return True, False
+    return True, True
 
 
 # Re-export for engine convenience.

@@ -212,54 +212,86 @@ class Scheduler:
         """Run until the pool drains.  Raises :class:`DeadlockError` if
         suspended processes remain after ``on_quiesce`` declines to release
         them, and propagates reducer errors unchanged."""
+        while True:
+            self.drain(execute)
+            if not self.suspended:
+                break
+            if not on_quiesce():
+                self.deadlock()
+
+    def next_time(self) -> float | None:
+        """Earliest pending virtual time (timer or event marker), or ``None``
+        when nothing is scheduled.  Markers may be stale, so this is a lower
+        bound — good enough for the parallel backend's epoch horizons."""
+        best: float | None = None
+        if self.timers:
+            best = self.timers[0][0]
+        if self.events:
+            t = self.events[0][0]
+            if best is None or t < best:
+                best = t
+        return best
+
+    def drain(self, execute: Callable, horizon: float | None = None) -> float | None:
+        """Process timers and events in virtual-time order.
+
+        With ``horizon=None`` (sequential operation) the loop runs until
+        both heaps are empty.  With a horizon (the parallel backend's
+        conservative epoch window) items at ``time >= horizon`` are left in
+        place and the earliest such pending time is returned — the caller
+        barriers there, exchanges cross-shard messages, and resumes with a
+        later horizon.  Returns ``None`` once nothing is pending.
+        """
         machine = self.machine
         procs = machine.procs
         events = self.events
         queues = self.queues
         event_time = self.event_time
         timers = self.timers
-        while True:
-            while events or timers:
-                if timers and (not events or timers[0][0] <= events[0][0]):
-                    time, _, fn = heappop(timers)
-                    fn(time)
-                    continue
-                time, _, pnum = heappop(events)
-                if event_time[pnum - 1] != time:
-                    continue  # stale duplicate marker
-                event_time[pnum - 1] = None
-                queue = queues[pnum - 1]
-                if not queue:
-                    continue
-                vp = procs[pnum - 1]
-                actual = queue[0][0]
-                if vp.clock > actual:
-                    actual = vp.clock
-                if actual > time:
-                    self.schedule(pnum, actual)
-                    continue
-                _, _, process = heappop(queue)
-                if process.state != RUNNABLE:
-                    self.schedule_from_queue(pnum)
-                    continue
-                self.reduction_budget -= 1
-                if self.reduction_budget < 0:
-                    raise StrandError(
-                        f"reduction budget of {self.max_reductions} exhausted "
-                        f"(possible runaway recursion)"
-                    )
-                cost = execute(process, actual)
-                if cost is None:
-                    self.schedule_from_queue(pnum)
-                    continue  # suspended; costs nothing
-                vp.clock = actual + cost
-                vp.busy += cost
-                vp.reductions += 1
+        while events or timers:
+            if timers and (not events or timers[0][0] <= events[0][0]):
+                time = timers[0][0]
+                if horizon is not None and time >= horizon:
+                    return time
+                _, _, fn = heappop(timers)
+                fn(time)
+                continue
+            time = events[0][0]
+            if horizon is not None and time >= horizon:
+                return time
+            time, _, pnum = heappop(events)
+            if event_time[pnum - 1] != time:
+                continue  # stale duplicate marker
+            event_time[pnum - 1] = None
+            queue = queues[pnum - 1]
+            if not queue:
+                continue
+            vp = procs[pnum - 1]
+            actual = queue[0][0]
+            if vp.clock > actual:
+                actual = vp.clock
+            if actual > time:
+                self.schedule(pnum, actual)
+                continue
+            _, _, process = heappop(queue)
+            if process.state != RUNNABLE:
                 self.schedule_from_queue(pnum)
-            if not self.suspended:
-                break
-            if not on_quiesce():
-                self.deadlock()
+                continue
+            self.reduction_budget -= 1
+            if self.reduction_budget < 0:
+                raise StrandError(
+                    f"reduction budget of {self.max_reductions} exhausted "
+                    f"(possible runaway recursion)"
+                )
+            cost = execute(process, actual)
+            if cost is None:
+                self.schedule_from_queue(pnum)
+                continue  # suspended; costs nothing
+            vp.clock = actual + cost
+            vp.busy += cost
+            vp.reductions += 1
+            self.schedule_from_queue(pnum)
+        return None
 
     # ------------------------------------------------------------------
     # Processor failure

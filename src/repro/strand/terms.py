@@ -36,6 +36,7 @@ __all__ = [
     "list_to_python",
     "iter_list",
     "term_eq",
+    "copy_term",
     "rename_term",
     "term_vars",
     "term_size",
@@ -104,6 +105,22 @@ class Var:
             return f"Var({self.name}={self.ref!r})"
         return f"Var({self.name})"
 
+    # Pickling (used by the parallel backend to ship terms between worker
+    # processes).  The ``_UNBOUND`` sentinel is a module-level ``object()``
+    # whose identity does not survive pickling, so the bound value is boxed:
+    # ``None`` means unbound, ``(value,)`` means bound (possibly to None).
+    # Waiters are process-local scheduler state and never cross the wire.
+    def __getstate__(self):
+        boxed = None if self.ref is _UNBOUND else (self.ref,)
+        return (self.name, boxed, self.home)
+
+    def __setstate__(self, state) -> None:
+        name, boxed, home = state
+        self.name = name
+        self.ref = _UNBOUND if boxed is None else boxed[0]
+        self.waiters = None
+        self.home = home
+
 
 class Atom:
     """An interned symbolic constant (``foo``, ``halt``, ``[]``...)."""
@@ -133,6 +150,11 @@ class Atom:
     # __eq__ explicitly documents that and keeps hash/eq consistent.
     def __eq__(self, other: object) -> bool:
         return self is other
+
+    # Unpickling must route through __new__ so atoms stay interned (identity
+    # equality would silently break across process boundaries otherwise).
+    def __reduce__(self):
+        return (Atom, (self.name,))
 
 
 NIL = Atom("[]")
@@ -316,6 +338,68 @@ def term_size(term: Term) -> int:
     return size
 
 
+# Rebuild markers for the iterative copier.  Real work-stack entries are
+# terms (never Python tuples), so a tuple on the stack is always a marker.
+_MARK_STRUCT = 0
+_MARK_TUP = 1
+_MARK_CONS = 2
+
+
+def copy_term(term: Term, var_image: Callable[[Var], Term]) -> Term:
+    """Structural copy with ``var_image`` supplying the image of every
+    unbound variable reached (bound variables are dereferenced through).
+
+    Iterative like :func:`term_size`/:func:`walk_terms` — a recursive copy
+    blows the interpreter stack around 20k cons cells, and list spines of
+    that depth are ordinary data here (repro: ``rename_term(make_list(
+    range(20000)))``).  Shared by :func:`rename_term` and the reducer's
+    ``instantiate`` so both copying paths stay stack-safe.
+
+    The work stack holds terms to visit plus marker tuples; a marker pops
+    its node's finished children off the output stack and pushes the
+    rebuilt node, preserving left-to-right visit order.
+    """
+    work: list = [term]
+    out: list = []
+    while work:
+        item = work.pop()
+        if type(item) is tuple:
+            kind, payload = item
+            if kind == _MARK_CONS:
+                tail = out.pop()
+                head = out.pop()
+                out.append(Cons(head, tail))
+            elif kind == _MARK_STRUCT:
+                functor, n = payload
+                base = len(out) - n
+                node = Struct(functor, out[base:])
+                del out[base:]
+                out.append(node)
+            else:  # _MARK_TUP
+                base = len(out) - payload
+                node = Tup(out[base:])
+                del out[base:]
+                out.append(node)
+            continue
+        t = deref(item)
+        tt = type(t)
+        if tt is Var:
+            out.append(var_image(t))
+        elif tt is Cons:
+            work.append((_MARK_CONS, None))
+            work.append(t.tail)
+            work.append(t.head)
+        elif tt is Struct:
+            work.append((_MARK_STRUCT, (t.functor, len(t.args))))
+            work.extend(reversed(t.args))
+        elif tt is Tup:
+            work.append((_MARK_TUP, len(t.args)))
+            work.extend(reversed(t.args))
+        else:
+            out.append(t)
+    return out[0]
+
+
 def rename_term(term: Term, mapping: dict[int, Var] | None = None) -> Term:
     """Copy a term, giving fresh variables for the unbound variables.
 
@@ -325,24 +409,14 @@ def rename_term(term: Term, mapping: dict[int, Var] | None = None) -> Term:
     if mapping is None:
         mapping = {}
 
-    def go(t: Term) -> Term:
-        t = deref(t)
-        tt = type(t)
-        if tt is Var:
-            fresh = mapping.get(id(t))
-            if fresh is None:
-                fresh = Var(t.name)
-                mapping[id(t)] = fresh
-            return fresh
-        if tt is Struct:
-            return Struct(t.functor, [go(a) for a in t.args])
-        if tt is Tup:
-            return Tup([go(a) for a in t.args])
-        if tt is Cons:
-            return Cons(go(t.head), go(t.tail))
-        return t
+    def image(var: Var) -> Var:
+        fresh = mapping.get(id(var))
+        if fresh is None:
+            fresh = Var(var.name)
+            mapping[id(var)] = fresh
+        return fresh
 
-    return go(term)
+    return copy_term(term, image)
 
 
 def walk_terms(term: Term) -> Iterator[Term]:

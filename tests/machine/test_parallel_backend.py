@@ -1,0 +1,210 @@
+"""Parallel backend: equivalence with the sequential backend, determinism,
+and the pinned NotImplementedError surface.
+
+Equivalence here means *result values*: for confluent programs (answers
+independent of message-arrival races) the parallel backend must compute
+exactly what the sequential backend computes for the same seed and program.
+Virtual-time metrics and trace interleavings are allowed to differ — the
+shards advance their clocks independently between epoch barriers.
+"""
+
+import pytest
+
+from repro.errors import (
+    DeadlockError,
+    DoubleAssignmentError,
+    MachineError,
+)
+from repro.machine import Machine
+from repro.machine.faults import FaultPlan
+from repro.machine.parallel import shard_of
+from repro.machine.profile import MotifProfile
+from repro.strand import parse_program, run_query
+
+SPREAD = """
+go(N, Out) :- spread(N, Out).
+spread(0, Out) :- Out := [].
+spread(N, Out) :- N > 0 |
+    Out := [V | Rest],
+    work(N, V) @ N,
+    N1 := N - 1,
+    spread(N1, Rest).
+work(N, V) :- V := N * N.
+"""
+
+FAN = """
+go(N, Out) :- open_port(P, S), collect(S, Out), fan(N, P).
+fan(0, _P).
+fan(N, P) :- N > 0 |
+    send_port(P, v(N)) @ N,
+    N1 := N - 1,
+    fan(N1, P).
+collect([v(X) | Rest], Out) :- Out := [X | Out1], collect(Rest, Out1).
+collect([], Out) :- Out := [].
+"""
+
+SERVICES = (("collect", 2),)
+
+
+def run_spread(machine, n=12):
+    return run_query(parse_program(SPREAD), f"go({n}, Out)", machine=machine)
+
+
+def run_fan(machine, n=9):
+    return run_query(parse_program(FAN), f"go({n}, Out)", machine=machine,
+                     services=SERVICES)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_dataflow_matches_sequential(self, workers):
+        seq = run_spread(Machine(4, seed=7))
+        par = run_spread(Machine(4, seed=7, backend="parallel",
+                                 workers=workers))
+        assert par.value("Out") == seq.value("Out")
+        assert par.metrics.reductions == seq.metrics.reductions
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_seed_sweep(self, seed):
+        seq = run_spread(Machine(5, seed=seed), n=15)
+        par = run_spread(Machine(5, seed=seed, backend="parallel", workers=2),
+                         n=15)
+        assert par.value("Out") == seq.value("Out")
+
+    def test_ports_match_sequential(self):
+        # Cross-shard port sends land in deterministic but shard-dependent
+        # splice order, so compare as multisets.
+        seq = run_fan(Machine(3, seed=1))
+        par = run_fan(Machine(3, seed=1, backend="parallel", workers=3))
+        assert sorted(par.value("Out")) == sorted(seq.value("Out"))
+
+    def test_epoch_window_mode(self):
+        seq = run_fan(Machine(3, seed=1))
+        par = run_fan(Machine(3, seed=1, backend="parallel", workers=2,
+                              epoch_window=2.0))
+        assert sorted(par.value("Out")) == sorted(seq.value("Out"))
+
+    def test_reduce_tree_parallel_backend(self):
+        from repro.apps.trees import balanced_tree, sequential_reduce
+        from repro.core.api import reduce_tree
+
+        tree = balanced_tree(4, lambda rng: "add",
+                             lambda rng: rng.randint(1, 9))
+        expected = sequential_reduce(tree, lambda op, lv, rv: lv + rv)
+        evaluator = "eval(add, L, R, V) :- V := L + R."
+        seq = reduce_tree(tree, evaluator, processors=4, seed=2)
+        par = reduce_tree(tree, evaluator, processors=4, seed=2,
+                          backend="parallel", workers=2)
+        assert seq.value == expected
+        assert par.value == expected
+
+
+class TestDeterminism:
+    def test_repeated_runs_identical(self):
+        results = [
+            run_fan(Machine(3, seed=5, backend="parallel", workers=3))
+            for _ in range(2)
+        ]
+        assert results[0].value("Out") == results[1].value("Out")
+        assert (results[0].metrics.reductions
+                == results[1].metrics.reductions)
+        assert results[0].metrics.sends == results[1].metrics.sends
+
+    def test_trace_merge_is_ordered(self):
+        machine = Machine(3, seed=1, backend="parallel", workers=2,
+                          trace=True)
+        run_fan(machine, n=6)
+        eids = [ev.eid for ev in machine.trace.events]
+        assert eids == sorted(eids)
+        assert len(set(eids)) == len(eids)
+        times = [ev.time for ev in machine.trace.events]
+        assert times == sorted(times)
+
+
+class TestErrors:
+    def test_deadlock_reported_across_shards(self):
+        src = "go(Out) :- wait(X, Out).\nwait(done, Out) :- Out := yes."
+        with pytest.raises(DeadlockError, match="1 suspended"):
+            run_query(parse_program(src), "go(Out)",
+                      machine=Machine(2, seed=0, backend="parallel",
+                                      workers=2))
+
+    def test_cross_shard_double_assignment(self):
+        src = """
+        go(X) :- a(X) @ 1, b(X) @ 2.
+        a(X) :- X := 1.
+        b(X) :- X := 2.
+        """
+        with pytest.raises(DoubleAssignmentError):
+            run_query(parse_program(src), "go(X)",
+                      machine=Machine(2, seed=0, backend="parallel",
+                                      workers=2))
+
+
+class TestUnsupportedLayers:
+    def test_faults_raise_not_implemented(self):
+        with pytest.raises(
+            NotImplementedError,
+            match="fault injection is not supported on the parallel backend",
+        ):
+            Machine(4, backend="parallel", workers=2,
+                    faults=FaultPlan(crash_rate=0.5))
+
+    def test_profile_raises_not_implemented(self):
+        with pytest.raises(
+            NotImplementedError,
+            match="per-motif profiling is not supported on the parallel "
+                  "backend",
+        ):
+            run_query(parse_program(SPREAD), "go(4, Out)",
+                      machine=Machine(2, backend="parallel", workers=2),
+                      profile=MotifProfile())
+
+    def test_python_foreign_raises_not_implemented(self):
+        # Python-callable evaluators register closures in the foreign
+        # registry; closures cannot be shipped to worker processes.
+        from repro.apps.trees import balanced_tree
+        from repro.core.api import reduce_tree
+
+        tree = balanced_tree(2, lambda rng: "add", lambda rng: 1)
+        with pytest.raises(NotImplementedError, match="not picklable"):
+            reduce_tree(tree, lambda op, lv, rv: lv + rv,
+                        processors=4, backend="parallel", workers=2)
+
+
+class TestConfiguration:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(MachineError, match="unknown backend"):
+            Machine(2, backend="threads")
+
+    def test_workers_require_parallel_backend(self):
+        with pytest.raises(MachineError, match="workers="):
+            Machine(2, workers=2)
+
+    def test_workers_capped_at_processors(self):
+        machine = Machine(3, backend="parallel", workers=8)
+        assert machine.workers == 3
+
+    def test_epoch_window_must_be_positive(self):
+        with pytest.raises(MachineError, match="epoch_window"):
+            Machine(2, backend="parallel", epoch_window=-1.0)
+
+    def test_shard_mapping_round_robin(self):
+        owners = [shard_of(p, 3) for p in range(1, 8)]
+        assert owners == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_sequential_machine_has_no_workers(self):
+        assert Machine(4).workers is None
+
+
+class TestCli:
+    def test_run_backend_parallel(self, tmp_path, capsys):
+        from repro.cli import main
+
+        source = tmp_path / "spread.str"
+        source.write_text(SPREAD)
+        code = main(["run", str(source), "go(6, Out)", "-P", "3",
+                     "--backend", "parallel", "--workers", "2", "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Out = [36, 25, 16, 9, 4, 1]" == out.strip().splitlines()[-1]
